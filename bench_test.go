@@ -1,0 +1,366 @@
+// Package repro's benchmark harness: one benchmark per paper table (4-23),
+// plus the §5.2 broadcast-tree ablation and microbenchmarks of the
+// machines' primitive operations. Each benchmark runs the full simulated
+// experiment that the table derives from and reports the simulated cycle
+// counts as custom metrics (Mcycles of elapsed virtual time and of
+// per-processor average time), alongside Go's wall-clock ns/op for the
+// simulator itself.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Reduced-scale variants (suffix /quick) run the same code on 8 processors
+// for fast iteration.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/apps/em3d"
+	"repro/internal/apps/gauss"
+	"repro/internal/apps/lcp"
+	"repro/internal/apps/mse"
+	"repro/internal/cmmd"
+	"repro/internal/cost"
+	"repro/internal/machine"
+	"repro/internal/memsim"
+	"repro/internal/ni"
+	"repro/internal/parmacs"
+	"repro/internal/stats"
+)
+
+// report attaches the simulated results to the benchmark output.
+func report(b *testing.B, res *machine.Result) {
+	b.ReportMetric(float64(res.Elapsed)/1e6, "sim-Mcycles")
+	b.ReportMetric(res.Summary.TotalCyclesAll()/1e6, "proc-Mcycles")
+}
+
+func fullCfg() cost.Config { return cost.Default(32) }
+
+// --- MSE: Tables 4-7 ---
+
+func BenchmarkTable04_MSE_MP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := mse.RunMP(fullCfg(), cmmd.LopSided, mse.DefaultParams())
+		report(b, out.Res)
+	}
+}
+
+func BenchmarkTable05_MSE_SM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := mse.RunSM(fullCfg(), mse.DefaultParams())
+		report(b, out.Res)
+	}
+}
+
+func BenchmarkTable06_MSE_MP_Events(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := mse.RunMP(fullCfg(), cmmd.LopSided, mse.DefaultParams())
+		report(b, out.Res)
+		b.ReportMetric(out.Res.Summary.CountsAll(stats.CntBytesData)/1e6, "data-MB")
+	}
+}
+
+func BenchmarkTable07_MSE_SM_Events(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := mse.RunSM(fullCfg(), mse.DefaultParams())
+		report(b, out.Res)
+		b.ReportMetric(out.Res.Summary.CountsAll(stats.CntSharedMissRemote), "remote-misses")
+	}
+}
+
+// --- Gauss: Tables 8-11 and the §5.2 ablation ---
+
+func gaussPar() gauss.Params { return gauss.Params{N: 512, Seed: 1} }
+
+func BenchmarkTable08_Gauss_MP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := gauss.RunMP(fullCfg(), cmmd.LopSided, gaussPar())
+		report(b, out.Res)
+	}
+}
+
+func BenchmarkTable09_Gauss_SM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := gauss.RunSM(fullCfg(), gaussPar())
+		report(b, out.Res)
+	}
+}
+
+func BenchmarkTable10_Gauss_MP_Events(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := gauss.RunMP(fullCfg(), cmmd.LopSided, gaussPar())
+		report(b, out.Res)
+		b.ReportMetric(out.Res.Summary.CountsAll(stats.CntChannelWrites), "channel-writes")
+	}
+}
+
+func BenchmarkTable11_Gauss_SM_Events(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := gauss.RunSM(fullCfg(), gaussPar())
+		report(b, out.Res)
+		b.ReportMetric(out.Res.Summary.CountsAll(stats.CntSharedMissRemote), "remote-misses")
+	}
+}
+
+// BenchmarkAblationGaussBroadcast reproduces the broadcast/reduction tuning
+// study: flat (paper: 119.3M comm cycles), binary tree with CMMD-level
+// messages (40.9M), lop-sided tree with active messages and channels
+// (30.1M).
+func BenchmarkAblationGaussBroadcast(b *testing.B) {
+	for _, shape := range []cmmd.Shape{cmmd.Flat, cmmd.Binary, cmmd.LopSided} {
+		b.Run(shape.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := gauss.RunMP(fullCfg(), shape, gaussPar())
+				report(b, out.Res)
+				s := out.Res.Summary
+				comm := s.CyclesAll(stats.LibComp) + s.CyclesAll(stats.NetAccess) +
+					s.CyclesAll(stats.BarrierWait)
+				b.ReportMetric(comm/1e6, "comm-Mcycles")
+			}
+		})
+	}
+}
+
+// --- EM3D: Tables 12-17 ---
+
+func BenchmarkTable12_EM3D_MP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := em3d.RunMP(fullCfg(), cmmd.LopSided, em3d.DefaultParams())
+		report(b, out.Res)
+	}
+}
+
+func BenchmarkTable13_EM3D_MP_MainLoopEvents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := em3d.RunMP(fullCfg(), cmmd.LopSided, em3d.DefaultParams())
+		report(b, out.Res)
+		b.ReportMetric(out.Res.Summary.Counts(em3d.PhaseMain, stats.CntBytesData)/1e6, "main-data-MB")
+	}
+}
+
+func BenchmarkTable14_EM3D_SM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := em3d.RunSM(fullCfg(), parmacs.RoundRobin, em3d.DefaultParams())
+		report(b, out.Res)
+	}
+}
+
+func BenchmarkTable15_EM3D_SM_MainLoopEvents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := em3d.RunSM(fullCfg(), parmacs.RoundRobin, em3d.DefaultParams())
+		report(b, out.Res)
+		s := out.Res.Summary
+		b.ReportMetric(s.Counts(em3d.PhaseMain, stats.CntSharedMissRemote), "main-remote-misses")
+		b.ReportMetric(s.Counts(em3d.PhaseMain, stats.CntWriteFaults), "main-write-faults")
+	}
+}
+
+// BenchmarkTable16_EM3D_SM_1MBCache is the cache-size ablation: the paper's
+// main-loop total drops from 130M to 61M cycles with a 1 MB cache.
+func BenchmarkTable16_EM3D_SM_1MBCache(b *testing.B) {
+	cfg := fullCfg()
+	cfg.CacheBytes = 1 << 20
+	for i := 0; i < b.N; i++ {
+		out := em3d.RunSM(cfg, parmacs.RoundRobin, em3d.DefaultParams())
+		report(b, out.Res)
+		b.ReportMetric(out.Res.Summary.TotalCycles(em3d.PhaseMain)/1e6, "main-Mcycles")
+	}
+}
+
+// BenchmarkTable17_EM3D_SM_LocalAlloc is the allocation-policy ablation:
+// local placement runs the main loop in about two thirds the round-robin
+// time (paper: 86.3M vs 130.0M cycles).
+func BenchmarkTable17_EM3D_SM_LocalAlloc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := em3d.RunSM(fullCfg(), parmacs.Local, em3d.DefaultParams())
+		report(b, out.Res)
+		b.ReportMetric(out.Res.Summary.TotalCycles(em3d.PhaseMain)/1e6, "main-Mcycles")
+	}
+}
+
+// --- LCP: Tables 18-23 ---
+
+func BenchmarkTable18_LCP_MP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := lcp.RunMP(fullCfg(), cmmd.LopSided, lcp.DefaultParams())
+		report(b, out.Res)
+		b.ReportMetric(float64(out.Steps), "steps")
+	}
+}
+
+func BenchmarkTable19_LCP_SM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := lcp.RunSM(fullCfg(), lcp.DefaultParams())
+		report(b, out.Res)
+		b.ReportMetric(float64(out.Steps), "steps")
+	}
+}
+
+func BenchmarkTable20_ALCP_MP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := lcp.RunAMP(fullCfg(), cmmd.LopSided, lcp.DefaultParams())
+		report(b, out.Res)
+		b.ReportMetric(float64(out.Steps), "steps")
+	}
+}
+
+func BenchmarkTable21_ALCP_SM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := lcp.RunASM(fullCfg(), lcp.DefaultParams())
+		report(b, out.Res)
+		b.ReportMetric(float64(out.Steps), "steps")
+	}
+}
+
+func BenchmarkTable22_LCP_MP_Events(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sync := lcp.RunMP(fullCfg(), cmmd.LopSided, lcp.DefaultParams())
+		async := lcp.RunAMP(fullCfg(), cmmd.LopSided, lcp.DefaultParams())
+		report(b, sync.Res)
+		b.ReportMetric(sync.Res.Summary.CountsAll(stats.CntChannelWrites), "sync-channel-writes")
+		b.ReportMetric(async.Res.Summary.CountsAll(stats.CntChannelWrites), "async-channel-writes")
+	}
+}
+
+func BenchmarkTable23_LCP_SM_Events(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sync := lcp.RunSM(fullCfg(), lcp.DefaultParams())
+		async := lcp.RunASM(fullCfg(), lcp.DefaultParams())
+		report(b, sync.Res)
+		shared := func(o *lcp.Output) float64 {
+			s := o.Res.Summary
+			return s.CountsAll(stats.CntSharedMissLocal) + s.CountsAll(stats.CntSharedMissRemote)
+		}
+		b.ReportMetric(shared(sync), "sync-shared-misses")
+		b.ReportMetric(shared(async), "async-shared-misses")
+	}
+}
+
+// --- Microbenchmarks of the machines' primitive operations ---
+
+// BenchmarkMicroRemoteMiss measures one idle remote shared-memory miss
+// (the paper: ~250 cycles).
+func BenchmarkMicroRemoteMiss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := cost.Default(2)
+		var cyc int64
+		m := machine.NewSM(cfg, parmacs.RoundRobin, func(n *machine.SMNode) {
+			if n.ID == 1 {
+				v := n.RT.GMallocFOn(0, 4)
+				before := n.P.Acct.Cycles(stats.PhaseDefault, stats.SharedMiss)
+				v.Get(n.Mem, 0)
+				cyc = n.P.Acct.Cycles(stats.PhaseDefault, stats.SharedMiss) - before
+			}
+			n.Barrier()
+		})
+		m.Run()
+		b.ReportMetric(float64(cyc), "sim-cycles")
+	}
+}
+
+// BenchmarkMicroAMRoundTrip measures an active-message request/reply pair.
+func BenchmarkMicroAMRoundTrip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := cost.Default(2)
+		m := machine.NewMP(cfg, cmmd.Binary, func(n *machine.MPNode) {
+			got := 0
+			var h int
+			h = n.AM.Register(func(pkt ni.Packet) {
+				got++
+				if n.ID == 1 {
+					n.AM.Request(0, h, pkt.Args, 8, nil)
+				}
+			})
+			if n.ID == 0 {
+				n.AM.Request(1, h, [4]uint64{42}, 8, nil)
+			}
+			n.AM.PollUntil(func() bool { return got > 0 })
+			n.Barrier()
+		})
+		res := m.Run()
+		b.ReportMetric(float64(res.Elapsed), "sim-cycles")
+	}
+}
+
+// BenchmarkMicroBarrier measures the hardware barrier with balanced
+// arrival (the paper: 100 cycles from last arrival).
+func BenchmarkMicroBarrier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := cost.Default(32)
+		m := machine.NewMP(cfg, cmmd.Binary, func(n *machine.MPNode) {
+			for k := 0; k < 100; k++ {
+				n.Barrier()
+			}
+		})
+		res := m.Run()
+		b.ReportMetric(float64(res.Elapsed)/100, "sim-cycles/barrier")
+	}
+}
+
+// BenchmarkMicroMCSLockHandoff measures contended MCS lock handoff.
+func BenchmarkMicroMCSLockHandoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := cost.Default(8)
+		var lock *parmacs.Lock
+		var counter memsim.IVec
+		m := machine.NewSM(cfg, parmacs.RoundRobin, func(n *machine.SMNode) {
+			if n.ID == 0 {
+				lock = parmacs.NewLock(n.RT)
+				counter = n.RT.GMallocI(0, 1)
+				n.RT.Create(n.P)
+			} else {
+				n.RT.WaitCreate(n.P)
+			}
+			n.Barrier()
+			for k := 0; k < 20; k++ {
+				lock.Acquire(n.Mem)
+				counter.Set(n.Mem, 0, counter.V[0]+1)
+				lock.Release(n.Mem)
+			}
+			n.Barrier()
+		})
+		res := m.Run()
+		b.ReportMetric(float64(res.Elapsed)/(8*20), "sim-cycles/handoff")
+	}
+}
+
+// BenchmarkAblationEM3DFlush measures the §5.3.4 software-flush proposal:
+// consumers flush remote values after use, sending the directory a
+// replacement hint so producers upgrade without invalidation rounds.
+func BenchmarkAblationEM3DFlush(b *testing.B) {
+	for _, flush := range []bool{false, true} {
+		name := "base"
+		run := em3d.RunSM
+		if flush {
+			name = "flush"
+			run = em3d.RunSMFlush
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := run(fullCfg(), parmacs.RoundRobin, em3d.DefaultParams())
+				report(b, out.Res)
+				b.ReportMetric(out.Res.Summary.TotalCycles(em3d.PhaseMain)/1e6, "main-Mcycles")
+			}
+		})
+	}
+}
+
+// BenchmarkScalingGaussSM sweeps processor counts (the simulators support
+// 1-128; the paper ran 32) to show directory queuing growing with scale —
+// "these delays ... will become untenable for larger systems" (§5.2).
+func BenchmarkScalingGaussSM(b *testing.B) {
+	for _, procs := range []int{8, 16, 32, 64} {
+		b.Run(fmtProcs(procs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := gauss.RunSM(cost.Default(procs), gauss.Params{N: 512, Seed: 1})
+				report(b, out.Res)
+			}
+		})
+	}
+}
+
+func fmtProcs(p int) string {
+	return "procs-" + string(rune('0'+p/10)) + string(rune('0'+p%10))
+}

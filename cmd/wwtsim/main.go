@@ -1,0 +1,164 @@
+// Command wwtsim runs one application on one simulated machine and prints
+// its full time breakdown and event counts — the workhorse for exploring
+// configurations beyond the paper's tables (processor counts, cache sizes,
+// allocation policies, collective tree shapes).
+//
+// Usage:
+//
+//	wwtsim -app mse|gauss|em3d|lcp|alcp -machine mp|sm
+//	       [-procs N] [-cache BYTES] [-shape flat|binary|lopsided]
+//	       [-policy rr|local] [-size N] [-iters N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/apps/em3d"
+	"repro/internal/apps/gauss"
+	"repro/internal/apps/lcp"
+	"repro/internal/apps/mse"
+	"repro/internal/cmmd"
+	"repro/internal/cost"
+	"repro/internal/machine"
+	"repro/internal/parmacs"
+	"repro/internal/stats"
+)
+
+func main() {
+	app := flag.String("app", "em3d", "application: mse|gauss|em3d|lcp|alcp")
+	mach := flag.String("machine", "mp", "machine: mp|sm")
+	procs := flag.Int("procs", 32, "processor count")
+	cache := flag.Int("cache", 256<<10, "cache bytes per node")
+	shapeStr := flag.String("shape", "lopsided", "collective tree: flat|binary|lopsided")
+	policy := flag.String("policy", "rr", "gmalloc policy: rr|local")
+	size := flag.Int("size", 0, "problem size override (app-specific)")
+	iters := flag.Int("iters", 0, "iteration override")
+	flag.Parse()
+
+	cfg := cost.Default(*procs)
+	cfg.CacheBytes = *cache
+	var shape cmmd.Shape
+	switch *shapeStr {
+	case "flat":
+		shape = cmmd.Flat
+	case "binary":
+		shape = cmmd.Binary
+	case "lopsided":
+		shape = cmmd.LopSided
+	default:
+		fatal("unknown shape %q", *shapeStr)
+	}
+	pol := parmacs.RoundRobin
+	if *policy == "local" {
+		pol = parmacs.Local
+	}
+
+	start := time.Now()
+	var res *machine.Result
+	switch *app {
+	case "mse":
+		par := mse.DefaultParams()
+		if *size > 0 {
+			par.Bodies = *size
+		}
+		if *iters > 0 {
+			par.Iters = *iters
+		}
+		if *mach == "mp" {
+			out := mse.RunMP(cfg, shape, par)
+			res = out.Res
+			fmt.Printf("refErr=%.3g residual=%.3g\n", out.RefErr, out.Residual)
+		} else {
+			out := mse.RunSM(cfg, par)
+			res = out.Res
+			fmt.Printf("refErr=%.3g residual=%.3g\n", out.RefErr, out.Residual)
+		}
+	case "gauss":
+		par := gauss.Params{N: 512, Seed: 1}
+		if *size > 0 {
+			par.N = *size
+		}
+		if *mach == "mp" {
+			out := gauss.RunMP(cfg, shape, par)
+			res = out.Res
+			fmt.Printf("maxErr=%.3g\n", out.MaxErr)
+		} else {
+			out := gauss.RunSM(cfg, par)
+			res = out.Res
+			fmt.Printf("maxErr=%.3g\n", out.MaxErr)
+		}
+	case "em3d":
+		par := em3d.DefaultParams()
+		if *size > 0 {
+			par.NodesPer = *size
+		}
+		if *iters > 0 {
+			par.Iters = *iters
+		}
+		if *mach == "mp" {
+			out := em3d.RunMP(cfg, shape, par)
+			res = out.Res
+			fmt.Printf("maxErr=%.3g\n", out.MaxErr)
+		} else {
+			out := em3d.RunSM(cfg, pol, par)
+			res = out.Res
+			fmt.Printf("maxErr=%.3g\n", out.MaxErr)
+		}
+	case "lcp", "alcp":
+		par := lcp.DefaultParams()
+		if *size > 0 {
+			par.N = *size
+		}
+		if *iters > 0 {
+			par.MaxSteps = *iters
+		}
+		var out *lcp.Output
+		switch {
+		case *app == "lcp" && *mach == "mp":
+			out = lcp.RunMP(cfg, shape, par)
+		case *app == "lcp":
+			out = lcp.RunSM(cfg, par)
+		case *mach == "mp":
+			out = lcp.RunAMP(cfg, shape, par)
+		default:
+			out = lcp.RunASM(cfg, par)
+		}
+		res = out.Res
+		fmt.Printf("steps=%d residual=%.3g\n", out.Steps, out.Residual)
+	default:
+		fatal("unknown app %q", *app)
+	}
+
+	fmt.Printf("simulated %d procs in %v wall\n", *procs, time.Since(start).Round(time.Millisecond))
+	printBreakdown(res)
+}
+
+func printBreakdown(res *machine.Result) {
+	s := res.Summary
+	tot := s.TotalCyclesAll()
+	fmt.Printf("\nper-processor average time breakdown (%.1fM cycles total; elapsed %.1fM):\n",
+		tot/1e6, float64(res.Elapsed)/1e6)
+	for c := stats.Category(0); c < stats.NumCategories; c++ {
+		v := s.CyclesAll(c)
+		if v == 0 {
+			continue
+		}
+		fmt.Printf("  %-16s %10.1fM  %5.1f%%\n", c, v/1e6, 100*v/tot)
+	}
+	fmt.Println("\nper-processor average event counts:")
+	for c := stats.Count(0); c < stats.NumCounts; c++ {
+		v := s.CountsAll(c)
+		if v == 0 {
+			continue
+		}
+		fmt.Printf("  %-24s %12.0f\n", c, v)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

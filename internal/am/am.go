@@ -1,0 +1,107 @@
+// Package am reimplements the Active Message layer (CMAML, von Eicken et
+// al. ISCA 1992) on the simulated CM-5 network interface. An active message
+// names a handler on the destination node; the handler runs when the
+// destination polls the network (the CMMD library "polls heavily" — the
+// paper's simulator likewise dispatches handlers without kernel traps).
+//
+// All software overhead (composing a request, poll-and-dispatch) is charged
+// to the library-computation category, and cache misses taken inside
+// handlers are charged to library misses — the paper's "Lib Comp" and "Lib
+// Misses" rows.
+package am
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/ni"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Handler processes a delivered active message on the receiving node. It
+// runs in library accounting mode; computation and memory traffic it
+// performs are charged as library time.
+type Handler func(pkt ni.Packet)
+
+// AM is one node's active-message layer.
+type AM struct {
+	NI  *ni.NI
+	P   *sim.Proc
+	Cfg *cost.Config
+
+	handlers []Handler
+}
+
+// New creates the active-message layer over a network interface.
+func New(nif *ni.NI) *AM {
+	return &AM{NI: nif, P: nif.P, Cfg: nif.Cfg}
+}
+
+// Register installs a handler and returns its id. Handlers must be
+// registered in the same order on every node (SPMD style), so ids agree.
+func (a *AM) Register(h Handler) int {
+	a.handlers = append(a.handlers, h)
+	return len(a.handlers) - 1
+}
+
+// Request sends an active message to dst invoking handler there. args are
+// the payload words; dataBytes of the payload count as application data
+// (0 for pure control/handshake messages). data optionally carries bulk
+// payload words for the handler.
+func (a *AM) Request(dst, handler int, args [4]uint64, dataBytes int, data []uint64) {
+	p := a.P
+	p.Interact()
+	p.ChargeStall(stats.LibComp, a.Cfg.AMSendCycles)
+	p.Acct.Add(stats.CntActiveMessages, 1)
+	a.NI.Send(ni.Packet{Dst: dst, Tag: handler, Args: args,
+		DataBytes: dataBytes, Data: data})
+}
+
+// Poll performs one poll: a status-register read and, if a packet is
+// available, a receive plus handler dispatch. It reports whether a packet
+// was handled.
+func (a *AM) Poll() bool {
+	if !a.NI.Status() {
+		return false
+	}
+	pkt := a.NI.Recv()
+	a.dispatch(pkt)
+	return true
+}
+
+func (a *AM) dispatch(pkt ni.Packet) {
+	if pkt.Tag < 0 || pkt.Tag >= len(a.handlers) {
+		panic(fmt.Sprintf("am: node %d: no handler %d", a.NI.Node, pkt.Tag))
+	}
+	p := a.P
+	p.ChargeStall(stats.LibComp, a.Cfg.AMDispatchCycles)
+	p.PushMode(stats.LibComp, stats.LibMiss, stats.CntLibMisses)
+	a.handlers[pkt.Tag](pkt)
+	p.PopMode()
+}
+
+// Drain handles every currently available packet and returns how many were
+// dispatched.
+func (a *AM) Drain() int {
+	n := 0
+	for a.Poll() {
+		n++
+	}
+	return n
+}
+
+// PollUntil polls the network, dispatching handlers, until cond() is true.
+// Time spent waiting with no packets available is charged to library
+// computation — this is how load-imbalance wait appears as "Lib Comp" in
+// the paper's message-passing breakdowns.
+func (a *AM) PollUntil(cond func() bool) {
+	p := a.P
+	p.Interact()
+	for !cond() {
+		if a.Poll() {
+			continue
+		}
+		a.NI.WaitPacket(stats.LibComp)
+	}
+}

@@ -1,0 +1,108 @@
+package am_test
+
+import (
+	"testing"
+
+	"repro/internal/am"
+	"repro/internal/cost"
+	"repro/internal/ni"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// rig builds a two-node engine with AM layers.
+func rig(t *testing.T, body0, body1 func(p *sim.Proc, a *am.AM)) *sim.Engine {
+	t.Helper()
+	cfg := cost.Default(2)
+	eng := sim.NewEngine(cfg.NetLatency)
+	net := ni.NewNetwork(eng, &cfg)
+	ams := make([]*am.AM, 2)
+	p0 := eng.AddProc(func(p *sim.Proc) { body0(p, ams[0]) })
+	p1 := eng.AddProc(func(p *sim.Proc) { body1(p, ams[1]) })
+	ams[0] = am.New(net.Attach(p0))
+	ams[1] = am.New(net.Attach(p1))
+	return eng
+}
+
+func TestRegistrationOrderGivesStableIDs(t *testing.T) {
+	cfg := cost.Default(2)
+	eng := sim.NewEngine(cfg.NetLatency)
+	net := ni.NewNetwork(eng, &cfg)
+	p := eng.AddProc(func(*sim.Proc) {})
+	a := am.New(net.Attach(p))
+	h0 := a.Register(func(ni.Packet) {})
+	h1 := a.Register(func(ni.Packet) {})
+	if h0 != 0 || h1 != 1 {
+		t.Errorf("handler ids = %d, %d; want 0, 1", h0, h1)
+	}
+}
+
+func TestDrainDispatchesEverythingAvailable(t *testing.T) {
+	var got []uint64
+	eng := rig(t,
+		func(p *sim.Proc, a *am.AM) {
+			h := a.Register(func(ni.Packet) {})
+			for i := 0; i < 5; i++ {
+				a.Request(1, h, [4]uint64{uint64(i)}, 0, nil)
+			}
+		},
+		func(p *sim.Proc, a *am.AM) {
+			a.Register(func(pkt ni.Packet) { got = append(got, pkt.Args[0]) })
+			// Wait until all five are queued, then drain in one call.
+			p.SpinUntil(stats.LibComp, func() bool { return a.NI.Pending() == 5 })
+			if n := a.Drain(); n != 5 {
+				t.Errorf("drain handled %d, want 5", n)
+			}
+		})
+	eng.Run()
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+func TestDispatchChargesLibraryCategories(t *testing.T) {
+	var libComp int64
+	eng := rig(t,
+		func(p *sim.Proc, a *am.AM) {
+			h := a.Register(func(ni.Packet) {})
+			a.Request(1, h, [4]uint64{}, 0, nil)
+		},
+		func(p *sim.Proc, a *am.AM) {
+			a.Register(func(ni.Packet) { p.Compute(37) })
+			a.PollUntil(func() bool {
+				return p.Acct.Cycles(stats.PhaseDefault, stats.LibComp) > 0
+			})
+			libComp = p.Acct.Cycles(stats.PhaseDefault, stats.LibComp)
+		})
+	eng.Run()
+	// Handler compute lands in LibComp, not application computation.
+	if libComp < 37 {
+		t.Errorf("lib comp = %d, want at least the handler's 37", libComp)
+	}
+}
+
+func TestUnknownHandlerPanics(t *testing.T) {
+	// The dispatch panic is raised on the receiving processor's goroutine,
+	// so recover there and record it.
+	panicked := false
+	eng := rig(t,
+		func(p *sim.Proc, a *am.AM) {
+			a.Register(func(ni.Packet) {})
+			a.Request(1, 3, [4]uint64{}, 0, nil) // node 1 has no handler 3
+		},
+		func(p *sim.Proc, a *am.AM) {
+			a.Register(func(ni.Packet) {})
+			defer func() {
+				if recover() != nil {
+					panicked = true
+				}
+			}()
+			a.PollUntil(func() bool { return panicked })
+		})
+	eng.Run()
+	if !panicked {
+		t.Error("expected a dispatch panic for an unregistered handler")
+	}
+}

@@ -1,0 +1,240 @@
+package em3d
+
+import (
+	"repro/internal/cmmd"
+	"repro/internal/cost"
+	"repro/internal/machine"
+	"repro/internal/memsim"
+)
+
+// RunMP runs EM3D-MP: the Split-C-derived message-passing version with one
+// ghost node per remote edge and bulk channel transfers between ring
+// neighbors before each half-step.
+func RunMP(cfg cost.Config, shape cmmd.Shape, par Params) *Output {
+	out := &Output{}
+	g := genGraph(par, cfg.Procs)
+	np, deg := par.NodesPer, par.Degree
+
+	out.E = make([][]float64, cfg.Procs)
+	out.H = make([][]float64, cfg.Procs)
+
+	out.Res = machine.RunMP(cfg, shape, func(nd *machine.MPNode) {
+		me := nd.ID
+		m := nd.Mem
+		nbs := neighbors(me, cfg.Procs)
+
+		// --- Initialization phase ---
+		nd.Phase(PhaseInit)
+
+		eVal := nd.AllocF(np)
+		hVal := nd.AllocF(np)
+		// In-edge metadata: source slot (local index, or np+ghost slot) and
+		// weight, node-major.
+		eIdx := nd.AllocI(np * deg)
+		eW := nd.AllocF(np * deg)
+		hIdx := nd.AllocI(np * deg)
+		hW := nd.AllocF(np * deg)
+
+		// Ghost vectors, one slot per remote in-edge, grouped by neighbor.
+		// ghostSeg[kind][d] is the slot range fed by neighbor d.
+		type seg struct{ start, len int }
+		ghostSegs := [2]map[int]*seg{{}, {}} // kind 0: H sources (E update), 1: E sources
+		ins := [2][]edge{g.eIn[me], g.hIn[me]}
+		counts := [2]int{}
+		for kind := 0; kind < 2; kind++ {
+			for _, d := range nbs {
+				s := &seg{start: counts[kind]}
+				for _, ed := range ins[kind] {
+					if int(ed.srcProc) == d {
+						s.len++
+					}
+				}
+				counts[kind] += s.len
+				ghostSegs[kind][d] = s
+			}
+		}
+		ghostH := nd.AllocF(counts[0] + 1)
+		ghostE := nd.AllocF(counts[1] + 1)
+
+		// Wire the in-edge metadata: local sources index the value vector
+		// directly; remote sources index their per-edge ghost slot (np+slot).
+		idxV, wV := [2]*memsim.IVec{&eIdx, &hIdx}, [2]*memsim.FVec{&eW, &hW}
+		for kind := 0; kind < 2; kind++ {
+			next := map[int]int{}
+			for _, d := range nbs {
+				next[d] = ghostSegs[kind][d].start
+			}
+			for i, ed := range ins[kind] {
+				if int(ed.srcProc) == me {
+					idxV[kind].V[i] = int64(ed.srcIdx)
+				} else {
+					slot := next[int(ed.srcProc)]
+					next[int(ed.srcProc)]++
+					idxV[kind].V[i] = int64(np + slot)
+				}
+				wV[kind].V[i] = ed.w
+			}
+			idxV[kind].WriteRange(m, 0, np*deg)
+			wV[kind].WriteRange(m, 0, np*deg)
+			nd.Compute(int64(np*deg) * cBuildMP / 2)
+		}
+
+		// Send lists: for each neighbor d and kind, the local value indices
+		// I must ship (one per remote edge at d, in d's canonical order).
+		sendList := [2]map[int][]int32{{}, {}}
+		for kind := 0; kind < 2; kind++ {
+			for _, d := range nbs {
+				var lst []int32
+				for _, ed := range ins2(g, d)[kind] {
+					if int(ed.srcProc) == me {
+						lst = append(lst, ed.srcIdx)
+					}
+				}
+				sendList[kind][d] = lst
+			}
+		}
+		sendBuf := [2]map[int]memsim.FVec{{}, {}}
+		for kind := 0; kind < 2; kind++ {
+			for _, d := range nbs {
+				sendBuf[kind][d] = nd.AllocF(len(sendList[kind][d]) + 1)
+			}
+		}
+
+		// Open ghost receive channels in canonical order (kind-major,
+		// neighbor-sorted), so channel ids agree across nodes by symmetry.
+		recvCh := [2]map[int]*cmmd.RecvChannel{{}, {}}
+		for kind, gv := range []*memsim.FVec{&ghostH, &ghostE} {
+			for _, d := range nbs {
+				s := ghostSegs[kind][d]
+				lo, hi := s.start, s.start+s.len
+				if s.len == 0 {
+					hi = lo + 1 // placeholder; never written
+				}
+				recvCh[kind][d] = nd.EP.OpenRecvChannelF(gv, lo, hi)
+			}
+		}
+		// chanID computes the id of my segment's channel on neighbor d.
+		chanID := func(d, kind int) int {
+			dn := neighbors(d, cfg.Procs)
+			for i, q := range dn {
+				if q == me {
+					return kind*len(dn) + i
+				}
+			}
+			panic("em3d: not a neighbor")
+		}
+
+		// Exchange edge information between each pair of processors in a
+		// single bulk message (paper §5.3.2), referenced twice on the
+		// receiving side (in-degree counts, then sink-to-source pointers).
+		edgeInfo := nd.AllocF(2*deg*np + 2)
+		// Post the receives first — a blocking send on both sides of each
+		// pair would deadlock the handshake.
+		var infoCh []*cmmd.RecvChannel
+		for _, d := range nbs {
+			// Incoming: two words per remote in-edge of mine sourced at d.
+			n := 2 * (ghostSegs[0][d].len + ghostSegs[1][d].len)
+			infoCh = append(infoCh, nd.EP.RecvPost(100+d, &edgeInfo, 0, n))
+		}
+		for _, d := range nbs {
+			// Two words per remote edge I own that sinks at d.
+			n := 2 * (len(sendList[0][d]) + len(sendList[1][d]))
+			nd.EP.SendBlock(d, 100+me, &edgeInfo, 0, n)
+		}
+		for i, d := range nbs {
+			n := 2 * (ghostSegs[0][d].len + ghostSegs[1][d].len)
+			nd.EP.WaitChannel(infoCh[i], 1)
+			edgeInfo.ReadRange(m, 0, n) // in-degree pass
+			edgeInfo.ReadRange(m, 0, n) // pointer pass
+			nd.Compute(int64(n) * 6)
+		}
+
+		// Initial values.
+		copy(eVal.V, g.e0[me])
+		copy(hVal.V, g.h0[me])
+		eVal.WriteRange(m, 0, np)
+		hVal.WriteRange(m, 0, np)
+		nd.Compute(int64(np) * cSetup)
+
+		// gatherSend collects the listed values into the send buffer and
+		// streams it to d in one channel write.
+		gatherSend := func(kind int, vals *memsim.FVec, d int) {
+			lst := sendList[kind][d]
+			if len(lst) == 0 {
+				return
+			}
+			buf := sendBuf[kind][d]
+			for i, src := range lst {
+				buf.V[i] = vals.Get(m, int(src))
+				nd.Compute(cGather)
+			}
+			buf.WriteRange(m, 0, len(lst))
+			nd.EP.ChannelWriteF(d, chanID(d, kind), &buf, 0, len(lst))
+		}
+
+		// Ship initial H values so iteration 1's E update has its ghosts.
+		for _, d := range nbs {
+			gatherSend(0, &hVal, d)
+		}
+		nd.Barrier()
+
+		// --- Main loop ---
+		nd.Phase(PhaseMain)
+		for it := 1; it <= par.Iters; it++ {
+			// E half-step: wait for this iteration's H ghosts, update.
+			for _, d := range nbs {
+				if ghostSegs[0][d].len > 0 {
+					nd.EP.WaitChannel(recvCh[0][d], int64(it))
+				}
+			}
+			halfStep(nd, m, np, deg, &eIdx, &eW, &hVal, &ghostH, &eVal)
+			for _, d := range nbs {
+				gatherSend(1, &eVal, d)
+			}
+
+			// H half-step.
+			for _, d := range nbs {
+				if ghostSegs[1][d].len > 0 {
+					nd.EP.WaitChannel(recvCh[1][d], int64(it))
+				}
+			}
+			halfStep(nd, m, np, deg, &hIdx, &hW, &eVal, &ghostE, &hVal)
+			if it < par.Iters {
+				for _, d := range nbs {
+					gatherSend(0, &hVal, d)
+				}
+			}
+		}
+		nd.Barrier()
+		out.E[me] = append([]float64(nil), eVal.V...)
+		out.H[me] = append([]float64(nil), hVal.V...)
+	})
+
+	out.validate(g, par.Iters)
+	return out
+}
+
+// ins2 returns proc d's in-edge lists by kind.
+func ins2(g *graph, d int) [2][]edge { return [2][]edge{g.eIn[d], g.hIn[d]} }
+
+// halfStep updates dst: each node becomes the weighted sum of its sources,
+// read from the local value vector or the ghost vector — "ghost nodes make
+// remote and local data accesses uniform".
+func halfStep(nd *machine.MPNode, m *memsim.Mem, np, deg int,
+	idx *memsim.IVec, w *memsim.FVec, src, ghost, dst *memsim.FVec) {
+	for i := 0; i < np; i++ {
+		idx.ReadRange(m, i*deg, (i+1)*deg)
+		w.ReadRange(m, i*deg, (i+1)*deg)
+		s := 0.0
+		for k := 0; k < deg; k++ {
+			si := int(idx.V[i*deg+k])
+			if si < np {
+				s += w.V[i*deg+k] * src.Get(m, si)
+			} else {
+				s += w.V[i*deg+k] * ghost.Get(m, si-np)
+			}
+		}
+		dst.Set(m, i, s)
+		nd.Compute(int64(deg)*cMac + cNode)
+	}
+}

@@ -1,0 +1,176 @@
+package em3d
+
+import (
+	"repro/internal/cost"
+	"repro/internal/machine"
+	"repro/internal/memsim"
+	"repro/internal/parmacs"
+)
+
+// smShared is the shared-memory problem state established by node 0.
+type smShared struct {
+	eVal, hVal []memsim.FVec // per-owner value vectors ("value fields in a separate vector")
+	eIdx, hIdx []memsim.IVec // per-owner in-edge source slots (owner-major)
+	eW, hW     []memsim.FVec // per-owner in-edge weights
+	eCnt, hCnt []memsim.IVec // per-owner in-degree fill counters
+	locks      []*parmacs.Lock
+}
+
+// RunSM runs EM3D-SM: no ghost nodes — caching supplies the temporal
+// locality, with the invalidation protocol's four-message producer-consumer
+// cost. policy selects gmalloc placement (RoundRobin reproduces Table 14;
+// Local reproduces the Table 17 ablation). Pass a Config with a 1 MB cache
+// for the Table 16 ablation.
+func RunSM(cfg cost.Config, policy parmacs.Policy, par Params) *Output {
+	return runSM(cfg, policy, par, false)
+}
+
+// RunSMFlush runs the §5.3.4 software-flush variant the paper proposes:
+// after consuming a remote value, the consumer flushes its cached copy,
+// turning the producer's next two-message invalidation round into a silent
+// single-message replacement. (The paper notes the benefit shrinks as the
+// data set outgrows the cache, since lines are often evicted anyway.)
+func RunSMFlush(cfg cost.Config, policy parmacs.Policy, par Params) *Output {
+	return runSM(cfg, policy, par, true)
+}
+
+func runSM(cfg cost.Config, policy parmacs.Policy, par Params, flush bool) *Output {
+	out := &Output{}
+	g := genGraph(par, cfg.Procs)
+	np, deg := par.NodesPer, par.Degree
+	procs := cfg.Procs
+
+	out.E = make([][]float64, procs)
+	out.H = make([][]float64, procs)
+	var sh smShared
+
+	out.Res = machine.RunSM(cfg, policy, func(nd *machine.SMNode) {
+		me := nd.ID
+		m := nd.Mem
+		nd.Phase(PhaseInit)
+
+		if me == 0 {
+			// Node 0 establishes the shared structures (gmalloc places
+			// them per the policy), then starts the other nodes.
+			for p := 0; p < procs; p++ {
+				sh.eVal = append(sh.eVal, nd.RT.GMallocF(p, np))
+				sh.hVal = append(sh.hVal, nd.RT.GMallocF(p, np))
+				sh.eIdx = append(sh.eIdx, nd.RT.GMallocI(p, np*deg))
+				sh.hIdx = append(sh.hIdx, nd.RT.GMallocI(p, np*deg))
+				sh.eW = append(sh.eW, nd.RT.GMallocF(p, np*deg))
+				sh.hW = append(sh.hW, nd.RT.GMallocF(p, np*deg))
+				sh.eCnt = append(sh.eCnt, nd.RT.GMallocI(p, np))
+				sh.hCnt = append(sh.hCnt, nd.RT.GMallocI(p, np))
+				sh.locks = append(sh.locks, parmacs.NewLock(nd.RT))
+			}
+			nd.Compute(int64(procs) * 400)
+			nd.RT.Create(nd.P)
+		} else {
+			nd.RT.WaitCreate(nd.P)
+		}
+		nd.Barrier()
+
+		// Register my out-edges at their sinks: lock the sink processor's
+		// region, claim the next in-edge slot, write the source pointer and
+		// weight with remote writes (paper: "remote data accesses require
+		// locks and remote writes because each processor updates incoming
+		// edge counts and pointers for remote sinks").
+		register := func(sink int, ins []edge, idx []memsim.IVec, w []memsim.FVec, cnt []memsim.IVec) {
+			for node := 0; node < np; node++ {
+				for k := 0; k < deg; k++ {
+					ed := ins[node*deg+k]
+					if int(ed.srcProc) != me {
+						continue
+					}
+					sh.locks[sink].Acquire(m)
+					slot := cnt[sink].Get(m, node)
+					cnt[sink].Set(m, node, slot+1)
+					pos := node*deg + int(slot)
+					// The source pointer packs (owner, index) — the
+					// simulated analogue of a pointer into the owner's
+					// value vector.
+					idx[sink].Set(m, pos, int64(me)<<32|int64(ed.srcIdx))
+					w[sink].Set(m, pos, ed.w)
+					sh.locks[sink].Release(m)
+					nd.Compute(cBuildSM)
+				}
+			}
+		}
+		for _, q := range append([]int{me}, neighbors(me, procs)...) {
+			register(q, g.eIn[q], sh.eIdx, sh.eW, sh.eCnt)
+			register(q, g.hIn[q], sh.hIdx, sh.hW, sh.hCnt)
+		}
+
+		// Initial values for my nodes.
+		copy(sh.eVal[me].V, g.e0[me])
+		copy(sh.hVal[me].V, g.h0[me])
+		sh.eVal[me].WriteRange(m, 0, np)
+		sh.hVal[me].WriteRange(m, 0, np)
+		nd.Compute(int64(np) * cSetup)
+		nd.Barrier()
+
+		// --- Main loop: barriers separate the half-steps and prevent a
+		// processor from reading a remote value before it is computed. ---
+		nd.Phase(PhaseMain)
+		for it := 0; it < par.Iters; it++ {
+			smHalf(nd, m, me, np, deg, &sh.eIdx[me], &sh.eW[me], sh.hVal, &sh.eVal[me], flush)
+			nd.Barrier()
+			smHalf(nd, m, me, np, deg, &sh.hIdx[me], &sh.hW[me], sh.eVal, &sh.hVal[me], flush)
+			nd.Barrier()
+		}
+		out.E[me] = append([]float64(nil), sh.eVal[me].V...)
+		out.H[me] = append([]float64(nil), sh.hVal[me].V...)
+	})
+
+	out.validate(g, par.Iters)
+	return out
+}
+
+// smHalf updates this processor's dst nodes from the shared source value
+// vectors. Local sources usually hit; remote sources take the protocol's
+// invalidate-request-response round trips every iteration.
+func smHalf(nd *machine.SMNode, m *memsim.Mem, me, np, deg int,
+	idx *memsim.IVec, w *memsim.FVec, srcVals []memsim.FVec, dst *memsim.FVec, flush bool) {
+	// The registered slot order determines which source owns each slot;
+	// sources were written as (srcIdx) only, so the owner is recovered from
+	// the edge's registration. Owners are encoded alongside: local edges
+	// reference srcVals[me]; remote slots were filled by the remote writer
+	// whose identity is the value vector to read. To keep the simulated
+	// data self-contained, the index word packs (ownerProc<<32 | srcIdx).
+	for i := 0; i < np; i++ {
+		idx.ReadRange(m, i*deg, (i+1)*deg)
+		w.ReadRange(m, i*deg, (i+1)*deg)
+		s := 0.0
+		for k := 0; k < deg; k++ {
+			packed := idx.V[i*deg+k]
+			owner := int(packed >> 32)
+			si := int(packed & 0xFFFFFFFF)
+			s += w.V[i*deg+k] * srcVals[owner].Get(m, si)
+		}
+		dst.Set(m, i, s)
+		nd.Compute(int64(deg)*cMac + cNode)
+	}
+	if flush {
+		// Software flush (paper §5.3.4): after the half-step, drop every
+		// remote block we consumed, so the producers' rewrites find no
+		// copies to invalidate (a silent replacement instead of a
+		// two-message invalidation round). Deduplicate per block — values
+		// are reused within the half-step.
+		flushed := make(map[uint64]struct{})
+		for i := 0; i < np*deg; i++ {
+			packed := idx.V[i]
+			owner := int(packed >> 32)
+			if owner == me {
+				continue
+			}
+			si := int(packed & 0xFFFFFFFF)
+			addr := srcVals[owner].Addr(si)
+			block := addr >> 5
+			if _, ok := flushed[block]; ok {
+				continue
+			}
+			flushed[block] = struct{}{}
+			m.FlushBlock(addr)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package gauss implements the paper's Gaussian-elimination benchmark
+// (§5.2) in both message-passing and shared-memory forms.
+//
+// The program solves a dense linear system with partial pivoting: a forward
+// elimination phase (pivot selection by reduction, pivot announcement and
+// pivot-row distribution by broadcast, then local row updates) followed by
+// backward substitution (each solved unknown broadcast to all). Rows are
+// distributed blockwise and never redistributed; a local mask tracks retired
+// rows, exactly as the paper describes.
+//
+// The message-passing version uses the software reduction/broadcast trees
+// whose tuning the paper recounts (flat → binary → lop-sided); the
+// shared-memory version uses MCS-style reductions and broadcasts a value "by
+// letting all processors read it" after a barrier.
+package gauss
+
+import (
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Params configures a Gauss run.
+type Params struct {
+	// N is the number of variables (the paper uses 512).
+	N int
+	// Seed drives the deterministic matrix generator.
+	Seed uint64
+}
+
+// elemBytes is the simulated matrix element size: the Gauss codes work in
+// single precision (the paper's per-processor miss counts and transmitted
+// data bytes match 4-byte, not 8-byte, rows).
+const elemBytes = 4
+
+// Calibrated per-operation computation costs (cycles). One set of constants
+// is shared by the MP and SM versions, so the comparison between them —
+// the paper's point — is independent of the absolute calibration. The
+// values target the paper's ~40M computation cycles per processor at
+// N=512 on 32 nodes (Tables 8 and 9).
+const (
+	cFill  = 14  // generate + store one matrix element
+	cScan  = 16  // examine one candidate pivot element (mask check, abs, cmp)
+	cElim  = 28  // one multiply-subtract row-update element
+	cDiv   = 40  // one division (pivot factor, solved unknown)
+	cRow   = 90  // per-row loop overhead in elimination
+	cBack  = 22  // one backward-substitution update element
+	cPivot = 120 // bookkeeping per pivot step
+)
+
+// Output carries the simulation result plus numerical validation data.
+type Output struct {
+	Res *machine.Result
+	// X is the computed solution (gathered from the simulated program).
+	X []float64
+	// MaxErr is the maximum |x[i] - xTrue[i]| against the generated truth.
+	MaxErr float64
+}
+
+// trueX returns the known solution the right-hand side is built from.
+func trueX(i int) float64 { return 1 + float64(i%7)*0.5 }
+
+// genRow deterministically generates global row i of the augmented matrix
+// (N coefficients plus the right-hand side) for an N-variable system. The
+// entries are uniform random, as in the paper ("each processor fills its
+// rows with random numbers"); partial pivoting provides the numerical
+// stability, and — importantly for load balance — makes pivot rows retire
+// uniformly across processors rather than in block order.
+func genRow(seed uint64, i, n int) []float64 {
+	rng := sim.NewRNG(seed ^ (uint64(i)+1)*0x9E3779B97F4A7C15)
+	row := make([]float64, n+1)
+	for j := 0; j < n; j++ {
+		row[j] = rng.Float64() - 0.5
+	}
+	rhs := 0.0
+	for j := 0; j < n; j++ {
+		rhs += row[j] * trueX(j)
+	}
+	row[n] = rhs
+	return row
+}
+
+func (o *Output) validate(x []float64) {
+	o.X = x
+	for i, v := range x {
+		if e := math.Abs(v - trueX(i)); e > o.MaxErr {
+			o.MaxErr = e
+		}
+	}
+}
+
+func rowsPerProc(n, procs int) int {
+	if n%procs != 0 {
+		panic("gauss: N must be divisible by the processor count")
+	}
+	return n / procs
+}

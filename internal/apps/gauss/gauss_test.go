@@ -1,0 +1,105 @@
+package gauss
+
+import (
+	"testing"
+
+	"repro/internal/cmmd"
+	"repro/internal/cost"
+	"repro/internal/stats"
+)
+
+func TestGenRowDeterministicAndConsistent(t *testing.T) {
+	a := genRow(1, 5, 32)
+	b := genRow(1, 5, 32)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("genRow not deterministic at %d", i)
+		}
+	}
+	// The right-hand side equals the row dotted with the known solution.
+	rhs := 0.0
+	for j := 0; j < 32; j++ {
+		rhs += a[j] * trueX(j)
+	}
+	if diff := rhs - a[32]; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("rhs mismatch: %v", diff)
+	}
+}
+
+func TestGaussMPSolves(t *testing.T) {
+	out := RunMP(cost.Default(4), cmmd.LopSided, Params{N: 64, Seed: 11})
+	if out.MaxErr > 1e-9 {
+		t.Errorf("MP solution error %v", out.MaxErr)
+	}
+	if len(out.X) != 64 {
+		t.Fatalf("no solution gathered")
+	}
+}
+
+func TestGaussSMSolves(t *testing.T) {
+	out := RunSM(cost.Default(4), Params{N: 64, Seed: 11})
+	if out.MaxErr > 1e-9 {
+		t.Errorf("SM solution error %v", out.MaxErr)
+	}
+}
+
+func TestGaussMPandSMAgree(t *testing.T) {
+	mp := RunMP(cost.Default(4), cmmd.LopSided, Params{N: 32, Seed: 3})
+	sm := RunSM(cost.Default(4), Params{N: 32, Seed: 3})
+	for i := range mp.X {
+		d := mp.X[i] - sm.X[i]
+		if d > 1e-9 || d < -1e-9 {
+			t.Fatalf("solutions diverge at %d: %v vs %v", i, mp.X[i], sm.X[i])
+		}
+	}
+}
+
+func TestGaussMPCommunicationShape(t *testing.T) {
+	out := RunMP(cost.Default(8), cmmd.LopSided, Params{N: 64, Seed: 5})
+	s := out.Res.Summary
+	// Communication-intensive: substantial library time relative to
+	// computation, and active messages flowing for reductions/broadcasts.
+	if s.CountsAll(stats.CntActiveMessages) == 0 {
+		t.Error("no active messages")
+	}
+	if s.CountsAll(stats.CntChannelWrites) == 0 {
+		t.Error("no channel writes (pivot-row broadcasts)")
+	}
+	if s.CyclesAll(stats.LibComp) == 0 {
+		t.Error("no library computation")
+	}
+}
+
+func TestGaussSMCategoryShape(t *testing.T) {
+	out := RunSM(cost.Default(8), Params{N: 64, Seed: 5})
+	s := out.Res.Summary
+	if s.CyclesAll(stats.ReductionWait) == 0 {
+		t.Error("no reduction time")
+	}
+	if s.CyclesAll(stats.BarrierWait) == 0 {
+		t.Error("no barrier time")
+	}
+	if s.CountsAll(stats.CntSharedMissRemote) == 0 {
+		t.Error("no remote shared misses")
+	}
+	// Shared misses should dominate private misses by far (paper Table 11:
+	// 92 private vs 23,590 shared).
+	priv := s.CountsAll(stats.CntPrivateMisses)
+	shared := s.CountsAll(stats.CntSharedMissLocal) + s.CountsAll(stats.CntSharedMissRemote)
+	if shared < 10*priv {
+		t.Errorf("shared misses (%v) should dwarf private (%v)", shared, priv)
+	}
+}
+
+func TestGaussDeterministicCycles(t *testing.T) {
+	a := RunMP(cost.Default(4), cmmd.Binary, Params{N: 32, Seed: 9})
+	b := RunMP(cost.Default(4), cmmd.Binary, Params{N: 32, Seed: 9})
+	if a.Res.Elapsed != b.Res.Elapsed {
+		t.Errorf("MP elapsed differs: %d vs %d", a.Res.Elapsed, b.Res.Elapsed)
+	}
+	c := RunSM(cost.Default(4), Params{N: 32, Seed: 9})
+	d := RunSM(cost.Default(4), Params{N: 32, Seed: 9})
+	if c.Res.Elapsed != d.Res.Elapsed {
+		t.Errorf("SM elapsed differs: %d vs %d", c.Res.Elapsed, d.Res.Elapsed)
+	}
+}

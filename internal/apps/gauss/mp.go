@@ -1,0 +1,129 @@
+package gauss
+
+import (
+	"math"
+
+	"repro/internal/cmmd"
+	"repro/internal/cost"
+	"repro/internal/machine"
+	"repro/internal/memsim"
+)
+
+// RunMP runs Gauss-MP: the paper's message-passing Gaussian elimination
+// adapted from an iPSC code, with reductions and broadcasts over the given
+// software tree shape (the paper settles on lop-sided trees after trying
+// flat and binary).
+func RunMP(cfg cost.Config, shape cmmd.Shape, par Params) *Output {
+	out := &Output{}
+	n := par.N
+	rpp := rowsPerProc(n, cfg.Procs)
+	width := n + 1 // augmented with the right-hand side
+
+	out.Res = machine.RunMP(cfg, shape, func(nd *machine.MPNode) {
+		me := nd.ID
+		lo := me * rpp
+		m := nd.Mem
+
+		// Private storage: my rows (augmented), the pivot-row buffer, the
+		// solution vector, and the retirement mask.
+		A := nd.AllocFSized(rpp*width, elemBytes)
+		prow := nd.AllocFSized(width, elemBytes)
+		x := nd.AllocFSized(n, elemBytes)
+		mask := nd.AllocI(rpp) // step at which the row retired, or -1
+
+		// Fill my rows with the deterministic generator.
+		for r := 0; r < rpp; r++ {
+			row := genRow(par.Seed, lo+r, n)
+			copy(A.V[r*width:(r+1)*width], row)
+			A.WriteRange(m, r*width, (r+1)*width)
+			nd.Compute(int64(cFill * width))
+			mask.Set(m, r, -1)
+		}
+		nd.Barrier()
+
+		pivotOfStep := make([]int, n) // global pivot row per column, learned via bcast
+
+		// Forward elimination.
+		for k := 0; k < n; k++ {
+			// Local pivot candidate: max |A[r][k]| over unretired rows.
+			best, bestRow := 0.0, int64(-1)
+			for r := 0; r < rpp; r++ {
+				if mask.Get(m, r) >= 0 {
+					continue
+				}
+				v := A.Get(m, r*width+k)
+				if math.Abs(v) > math.Abs(best) || bestRow < 0 {
+					best, bestRow = v, int64(lo+r)
+				}
+				nd.Compute(cScan)
+			}
+			pv, pidx := nd.Comm.Reduce(0, best, bestRow, cmmd.OpMaxAbs)
+			pv, pidx = nd.Comm.BcastPair(0, pv, pidx)
+			_ = pv
+			gr := int(pidx)
+			pivotOfStep[k] = gr
+			owner := gr / rpp
+			nd.Compute(cPivot)
+
+			if me == owner {
+				// Copy the pivot row into the broadcast buffer.
+				r := gr - lo
+				copy(prow.V[k:], A.V[r*width+k:(r+1)*width])
+				A.ReadRange(m, r*width+k, (r+1)*width)
+				prow.WriteRange(m, k, width)
+				nd.Compute(int64(3 * (width - k)))
+				mask.Set(m, r, int64(k))
+			}
+			nd.Comm.BcastVecF(owner, &prow, k, width)
+
+			// Eliminate column k from my unretired rows.
+			piv := prow.V[k]
+			for r := 0; r < rpp; r++ {
+				if mask.Get(m, r) >= 0 {
+					continue
+				}
+				f := A.Get(m, r*width+k) / piv
+				nd.Compute(cDiv + cRow)
+				prow.ReadRange(m, k, width)
+				A.ReadRange(m, r*width+k, (r+1)*width)
+				for j := k; j < width; j++ {
+					A.V[r*width+j] -= f * prow.V[j]
+				}
+				A.WriteRange(m, r*width+k, (r+1)*width)
+				nd.Compute(int64(cElim * (width - k)))
+			}
+		}
+
+		// Backward substitution: the unknown solved at step k is owned by
+		// the processor holding that step's pivot row; it broadcasts the
+		// value as it becomes known.
+		for k := n - 1; k >= 0; k-- {
+			gr := pivotOfStep[k]
+			owner := gr / rpp
+			var xk float64
+			if me == owner {
+				r := gr - lo
+				xk = A.Get(m, r*width+n) / A.Get(m, r*width+k)
+				nd.Compute(cDiv)
+			}
+			xk = nd.Comm.Bcast(owner, xk)
+			x.Set(m, k, xk)
+			// Fold xk into the right-hand sides of my still-unsolved rows.
+			for r := 0; r < rpp; r++ {
+				if int(mask.Get(m, r)) >= k {
+					continue
+				}
+				rhs := A.Get(m, r*width+n) - A.Get(m, r*width+k)*xk
+				A.Set(m, r*width+n, rhs)
+				nd.Compute(cBack)
+			}
+		}
+		nd.Barrier()
+		if me == 0 {
+			out.validate(append([]float64(nil), x.V...))
+		}
+	})
+	return out
+}
+
+var _ = memsim.WordBytes

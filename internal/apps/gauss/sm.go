@@ -1,0 +1,151 @@
+package gauss
+
+import (
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/machine"
+	"repro/internal/memsim"
+	"repro/internal/parmacs"
+)
+
+// RunSM runs Gauss-SM: the shared-memory version the authors wrote from the
+// message-passing code. Pivot selection uses an MCS-style software
+// reduction; broadcasts happen "by letting all processors read it" — the
+// writer publishes into shared memory, everyone waits at a barrier, then
+// reads (incurring the directory contention the paper measures).
+func RunSM(cfg cost.Config, par Params) *Output {
+	out := &Output{}
+	n := par.N
+	rpp := rowsPerProc(n, cfg.Procs)
+	width := n + 1
+
+	// Shared structures, established by node 0 before Create.
+	var (
+		A     memsim.FVec // the whole augmented matrix, rows blockwise
+		x     memsim.FVec // the solution vector
+		pvVal memsim.FVec // published pivot value
+		pvIdx memsim.IVec // published pivot global row
+		red   *parmacs.Reduction
+	)
+
+	out.Res = machine.RunSM(cfg, parmacs.RoundRobin, func(nd *machine.SMNode) {
+		me := nd.ID
+		lo := me * rpp
+		m := nd.Mem
+
+		if me == 0 {
+			A = nd.RT.GMallocFSized(0, n*width, elemBytes)
+			x = nd.RT.GMallocFSized(0, n, elemBytes)
+			pvVal = nd.RT.GMallocF(0, 1)
+			pvIdx = nd.RT.GMallocI(0, 1)
+			red = parmacs.NewReduction(nd.RT)
+			nd.RT.Create(nd.P)
+		} else {
+			nd.RT.WaitCreate(nd.P)
+		}
+		nd.Barrier()
+
+		// Each processor fills its own rows of the shared matrix.
+		mask := nd.AllocI(rpp) // private retirement mask, as in the paper
+		for r := 0; r < rpp; r++ {
+			row := genRow(par.Seed, lo+r, n)
+			base := (lo + r) * width
+			copy(A.V[base:base+width], row)
+			A.WriteRange(m, base, base+width)
+			nd.Compute(int64(cFill * width))
+			mask.Set(m, r, -1)
+		}
+		nd.Barrier()
+
+		pivotOfStep := make([]int, n)
+
+		// Forward elimination.
+		for k := 0; k < n; k++ {
+			best, bestRow := 0.0, int64(-1)
+			for r := 0; r < rpp; r++ {
+				if mask.Get(m, r) >= 0 {
+					continue
+				}
+				v := A.Get(m, (lo+r)*width+k)
+				if math.Abs(v) > math.Abs(best) || bestRow < 0 {
+					best, bestRow = v, int64(lo+r)
+				}
+				nd.Compute(cScan)
+			}
+			rv, ri := red.Reduce(m, best, bestRow, parmacs.OpMaxAbs, parmacs.GaussCats)
+			if me == 0 {
+				pvVal.Set(m, 0, rv)
+				pvIdx.Set(m, 0, ri)
+			}
+			// Everyone waits until the write completes, then reads the
+			// published pivot (hardware-speed broadcast via invalidation,
+			// with read requests contending at the directory).
+			nd.Barrier()
+			pidx := pvIdx.Get(m, 0)
+			_ = pvVal.Get(m, 0)
+			gr := int(pidx)
+			pivotOfStep[k] = gr
+			owner := gr / rpp
+			nd.Compute(cPivot)
+			if me == owner {
+				mask.Set(m, gr-lo, int64(k))
+			}
+
+			// Eliminate, reading the pivot row directly from shared memory.
+			pbase := gr * width
+			piv := A.V[pbase+k]
+			for r := 0; r < rpp; r++ {
+				if mask.Get(m, r) >= 0 {
+					continue
+				}
+				base := (lo + r) * width
+				f := A.Get(m, base+k) / piv
+				nd.Compute(cDiv + cRow)
+				A.ReadRange(m, pbase+k, pbase+width) // the pivot row
+				A.ReadRange(m, base+k, base+width)   // my row
+				for j := k; j < width; j++ {
+					A.V[base+j] -= f * A.V[pbase+j]
+				}
+				A.WriteRange(m, base+k, base+width)
+				nd.Compute(int64(cElim * (width - k)))
+			}
+			// No trailing barrier: the next column's reduction cannot
+			// complete until every processor has contributed, i.e. finished
+			// this column's elimination — the reduction itself is the
+			// synchronization.
+		}
+
+		// Backward substitution: owners publish unknowns into the shared x
+		// vector; a barrier orders each write before the reads.
+		for k := n - 1; k >= 0; k-- {
+			gr := pivotOfStep[k]
+			owner := gr / rpp
+			if me == owner {
+				base := gr * width
+				xk := A.Get(m, base+n) / A.Get(m, base+k)
+				nd.Compute(cDiv)
+				x.Set(m, k, xk)
+			}
+			nd.Barrier()
+			xk := x.Get(m, k)
+			for r := 0; r < rpp; r++ {
+				if int(mask.Get(m, r)) >= k {
+					continue
+				}
+				base := (lo + r) * width
+				rhs := A.Get(m, base+n) - A.Get(m, base+k)*xk
+				A.Set(m, base+n, rhs)
+				nd.Compute(cBack)
+			}
+		}
+		nd.Barrier()
+		if me == 0 {
+			xs := make([]float64, n)
+			x.ReadRange(m, 0, n)
+			copy(xs, x.V)
+			out.validate(xs)
+		}
+	})
+	return out
+}

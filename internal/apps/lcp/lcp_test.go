@@ -1,0 +1,140 @@
+package lcp
+
+import (
+	"testing"
+
+	"repro/internal/cmmd"
+	"repro/internal/cost"
+	"repro/internal/stats"
+)
+
+func smallParams() Params {
+	return Params{N: 256, NNZ: 16, Sweeps: 5, MaxSteps: 200, Tol: 1e-6, Omega: 1.0, LocalFrac: 0.5, DiagFactor: 1.2, Seed: 5}
+}
+
+func TestProblemGeneratorProperties(t *testing.T) {
+	p := smallParams()
+	pr := genProblem(p)
+	for i := 0; i < p.N; i++ {
+		if len(pr.cols[i]) != p.NNZ {
+			t.Fatalf("row %d has %d nonzeros", i, len(pr.cols[i]))
+		}
+		sum := 0.0
+		for k, c := range pr.cols[i] {
+			if int(c) == i || int(c) < 0 || int(c) >= p.N {
+				t.Fatalf("row %d col %d invalid", i, c)
+			}
+			if pr.vals[i][k] > 0 {
+				t.Fatalf("off-diagonal %d,%d positive", i, k)
+			}
+			sum += -pr.vals[i][k]
+		}
+		if pr.diag[i] <= sum {
+			t.Fatalf("row %d not strictly diagonally dominant", i)
+		}
+	}
+}
+
+func TestLCPMPConverges(t *testing.T) {
+	out := RunMP(cost.Default(4), cmmd.LopSided, smallParams())
+	if out.Residual > 1e-4 {
+		t.Errorf("complementarity residual %v", out.Residual)
+	}
+	if out.Steps == 0 || out.Steps >= smallParams().MaxSteps {
+		t.Errorf("did not converge: %d steps", out.Steps)
+	}
+}
+
+func TestLCPSMConverges(t *testing.T) {
+	out := RunSM(cost.Default(4), smallParams())
+	if out.Residual > 1e-4 {
+		t.Errorf("complementarity residual %v", out.Residual)
+	}
+	if out.Steps == 0 || out.Steps >= smallParams().MaxSteps {
+		t.Errorf("did not converge: %d steps", out.Steps)
+	}
+}
+
+func TestLCPMPandSMAgree(t *testing.T) {
+	mp := RunMP(cost.Default(4), cmmd.LopSided, smallParams())
+	sm := RunSM(cost.Default(4), smallParams())
+	if mp.Steps != sm.Steps {
+		t.Logf("steps differ (mp %d, sm %d) — acceptable, same algorithm different interleave",
+			mp.Steps, sm.Steps)
+	}
+	for i := range mp.Z {
+		d := mp.Z[i] - sm.Z[i]
+		if d > 1e-5 || d < -1e-5 {
+			t.Fatalf("solutions diverge at %d: %v vs %v", i, mp.Z[i], sm.Z[i])
+		}
+	}
+}
+
+func TestAsyncConvergesInFewerOrEqualSteps(t *testing.T) {
+	p := smallParams()
+	syncMP := RunMP(cost.Default(4), cmmd.LopSided, p)
+	asyncMP := RunAMP(cost.Default(4), cmmd.LopSided, p)
+	if asyncMP.Steps > syncMP.Steps {
+		t.Errorf("ALCP-MP took %d steps, sync %d — fresher values should not hurt",
+			asyncMP.Steps, syncMP.Steps)
+	}
+	if asyncMP.Residual > 1e-4 {
+		t.Errorf("ALCP-MP residual %v", asyncMP.Residual)
+	}
+	syncSM := RunSM(cost.Default(4), p)
+	asyncSM := RunASM(cost.Default(4), p)
+	if asyncSM.Steps > syncSM.Steps {
+		t.Errorf("ALCP-SM took %d steps, sync %d", asyncSM.Steps, syncSM.Steps)
+	}
+	if asyncSM.Residual > 1e-4 {
+		t.Errorf("ALCP-SM residual %v", asyncSM.Residual)
+	}
+}
+
+func TestAsyncCommunicatesMore(t *testing.T) {
+	p := smallParams()
+	syncMP := RunMP(cost.Default(4), cmmd.LopSided, p)
+	asyncMP := RunAMP(cost.Default(4), cmmd.LopSided, p)
+	sCW := syncMP.Res.Summary.CountsAll(stats.CntChannelWrites)
+	aCW := asyncMP.Res.Summary.CountsAll(stats.CntChannelWrites)
+	if aCW <= sCW {
+		t.Errorf("async channel writes %v should exceed sync %v", aCW, sCW)
+	}
+	sB := syncMP.Res.Summary.CountsAll(stats.CntBytesData)
+	aB := asyncMP.Res.Summary.CountsAll(stats.CntBytesData)
+	if aB <= sB {
+		t.Errorf("async data bytes %v should exceed sync %v", aB, sB)
+	}
+
+	syncSM := RunSM(cost.Default(4), p)
+	asyncSM := RunASM(cost.Default(4), p)
+	sMiss := syncSM.Res.Summary.CountsAll(stats.CntSharedMissLocal) +
+		syncSM.Res.Summary.CountsAll(stats.CntSharedMissRemote)
+	aMiss := asyncSM.Res.Summary.CountsAll(stats.CntSharedMissLocal) +
+		asyncSM.Res.Summary.CountsAll(stats.CntSharedMissRemote)
+	if aMiss <= sMiss {
+		t.Errorf("async shared misses %v should exceed sync %v", aMiss, sMiss)
+	}
+}
+
+func TestLCPDeterminism(t *testing.T) {
+	a := RunSM(cost.Default(4), smallParams())
+	b := RunSM(cost.Default(4), smallParams())
+	if a.Res.Elapsed != b.Res.Elapsed || a.Steps != b.Steps {
+		t.Errorf("nondeterministic: (%d, %d) vs (%d, %d)",
+			a.Res.Elapsed, a.Steps, b.Res.Elapsed, b.Steps)
+	}
+}
+
+func TestLCPMPCategoryShape(t *testing.T) {
+	out := RunMP(cost.Default(8), cmmd.LopSided, smallParams())
+	s := out.Res.Summary
+	if s.CyclesAll(stats.Comp) == 0 || s.CyclesAll(stats.LibComp) == 0 {
+		t.Error("missing computation or library time")
+	}
+	// Computation should dominate (paper: 73%).
+	if s.CyclesAll(stats.Comp) < s.CyclesAll(stats.LibComp) {
+		t.Errorf("computation (%v) should dominate library time (%v)",
+			s.CyclesAll(stats.Comp), s.CyclesAll(stats.LibComp))
+	}
+}

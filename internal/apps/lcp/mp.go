@@ -1,0 +1,192 @@
+package lcp
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/cmmd"
+	"repro/internal/cost"
+	"repro/internal/machine"
+)
+
+// RunMP runs the synchronous message-passing variant (LCP-MP): each
+// processor keeps a full local copy of the solution vector; after the
+// sweeps of a step, local copies are reconciled with log2(P) point-to-point
+// butterfly exchanges across pre-established CMMD channels, and a reduction
+// tests convergence.
+func RunMP(cfg cost.Config, shape cmmd.Shape, par Params) *Output {
+	return runMP(cfg, shape, par, false)
+}
+
+// RunAMP runs the asynchronous variant (ALCP-MP): bulk updates are sent to
+// every other node (a star) after each individual sweep, and applied
+// whenever they arrive; processors synchronize only for the convergence
+// test. Faster convergence in steps, far more communication.
+func RunAMP(cfg cost.Config, shape cmmd.Shape, par Params) *Output {
+	return runMP(cfg, shape, par, true)
+}
+
+func runMP(cfg cost.Config, shape cmmd.Shape, par Params, async bool) *Output {
+	out := &Output{}
+	pr := genProblem(par)
+	procs := cfg.Procs
+	rpp := rowsPerProc(par.N, procs)
+	logP := bits.Len(uint(procs)) - 1
+	if !async && 1<<logP != procs {
+		panic("lcp: butterfly exchange needs a power-of-two processor count")
+	}
+
+	segs := make([][]float64, procs) // final owner segments, for validation
+
+	out.Res = machine.RunMP(cfg, shape, func(nd *machine.MPNode) {
+		me := nd.ID
+		lo := me * rpp
+		m := nd.Mem
+
+		// Full local copy of the solution vector, plus the previous step's
+		// own segment for the convergence norm.
+		z := nd.AllocF(par.N)
+		zprev := nd.AllocF(rpp)
+		// Private copies of my matrix rows (values, columns, diagonal, q).
+		mvals := nd.AllocF(rpp * par.NNZ)
+		mcols := nd.AllocI(rpp * par.NNZ)
+		mdiag := nd.AllocF(rpp)
+		mq := nd.AllocF(rpp)
+		for r := 0; r < rpp; r++ {
+			gi := lo + r
+			copy(mvals.V[r*par.NNZ:], pr.vals[gi])
+			for k, c := range pr.cols[gi] {
+				mcols.V[r*par.NNZ+k] = int64(c)
+			}
+			mdiag.V[r] = pr.diag[gi]
+			mq.V[r] = pr.q[gi]
+			nd.Compute(int64(cSetup * par.NNZ))
+		}
+		mvals.WriteRange(m, 0, mvals.Len())
+		mcols.WriteRange(m, 0, mcols.Len())
+		mdiag.WriteRange(m, 0, rpp)
+		mq.WriteRange(m, 0, rpp)
+		z.WriteRange(m, 0, par.N)
+
+		// Pre-establish channels (static communication, as the paper's
+		// LCP-MP: "point-to-point exchanges across CMMD channels").
+		var bflyRecv []*cmmd.RecvChannel
+		var starRecv []*cmmd.RecvChannel
+		if async {
+			// One channel per peer, receiving directly into that peer's
+			// segment of my local copy. Opened in peer order, so channel
+			// ids agree across nodes by symmetry.
+			for peer := 0; peer < procs; peer++ {
+				if peer == me {
+					continue
+				}
+				starRecv = append(starRecv,
+					nd.EP.OpenRecvChannelF(&z, peer*rpp, (peer+1)*rpp))
+			}
+		} else {
+			// Butterfly: at stage k I receive my partner's 2^k-proc
+			// segment.
+			for k := 0; k < logP; k++ {
+				partner := me ^ (1 << k)
+				segStart := (partner >> k) << k // in proc units
+				bflyRecv = append(bflyRecv,
+					nd.EP.OpenRecvChannelF(&z, segStart*rpp, (segStart+(1<<k))*rpp))
+			}
+		}
+		nd.Barrier()
+
+		// starChannelID returns my segment's channel id on node peer (the
+		// same symmetric opening order as above).
+		starChannelID := func(peer int) int {
+			if me < peer {
+				return me
+			}
+			return me - 1
+		}
+
+		steps := 0
+		for step := 1; step <= par.MaxSteps; step++ {
+			steps = step
+			for r := 0; r < rpp; r++ {
+				zprev.V[r] = z.V[lo+r]
+			}
+			zprev.WriteRange(m, 0, rpp)
+
+			for sweep := 0; sweep < par.Sweeps; sweep++ {
+				for r := 0; r < rpp; r++ {
+					gi := lo + r
+					// The matrix row streams from local memory; the solution
+					// entries it references are cache-resident (the paper's
+					// tiny local-miss counts confirm this working set fits).
+					mvals.ReadRange(m, r*par.NNZ, (r+1)*par.NNZ)
+					mcols.ReadRange(m, r*par.NNZ, (r+1)*par.NNZ)
+					z.V[gi] = pr.sweepRow(gi, z.V[gi], z.V, par.Omega)
+					nd.Compute(cRow + int64(par.NNZ)*cElem)
+				}
+				if async {
+					// Star: broadcast my fresh segment to everyone, and
+					// apply whatever has arrived. Updates are serviced at
+					// sweep boundaries — the polling granularity of the
+					// compute loop — so a peer's values take one to two
+					// sweeps to take effect end-to-end.
+					for peer := 0; peer < procs; peer++ {
+						if peer == me {
+							continue
+						}
+						nd.EP.ChannelWriteF(peer, starChannelID(peer), &z, lo, lo+rpp)
+					}
+					nd.AM.Drain()
+				}
+			}
+			z.WriteRange(m, lo, lo+rpp)
+			nd.Compute(cStep)
+
+			if !async {
+				// Butterfly all-gather of the updated local copies.
+				for k := 0; k < logP; k++ {
+					partner := me ^ (1 << k)
+					segStart := ((me >> k) << k) * rpp
+					segLen := (1 << k) * rpp
+					nd.EP.ChannelWriteF(partner, k, &z, segStart, segStart+segLen)
+					nd.EP.WaitChannel(bflyRecv[k], int64(step))
+				}
+			}
+
+			// Convergence: global sum of |dz| over own segments.
+			norm := 0.0
+			for r := 0; r < rpp; r++ {
+				norm += math.Abs(z.V[lo+r] - zprev.V[r])
+			}
+			zprev.ReadRange(m, 0, rpp)
+			nd.Compute(int64(rpp) * cNorm)
+			total, _ := nd.Comm.Reduce(0, norm, 0, cmmd.OpSum)
+			done := 0.0
+			if me == 0 && total < par.Tol {
+				done = 1
+			}
+			if nd.Comm.Bcast(0, done) != 0 {
+				break
+			}
+		}
+		if async {
+			// Drain in-flight updates so every node quiesces.
+			nd.Barrier()
+			nd.AM.Drain()
+		}
+		nd.Barrier()
+		segs[me] = append([]float64(nil), z.V[lo:lo+rpp]...)
+		if me == 0 {
+			out.Steps = steps
+		}
+	})
+
+	// Reconstruct the global solution from the authoritative owner
+	// segments and validate complementarity.
+	zfinal := make([]float64, par.N)
+	for p := 0; p < procs; p++ {
+		copy(zfinal[p*rpp:(p+1)*rpp], segs[p])
+	}
+	out.Z = zfinal
+	out.Residual = pr.validate(zfinal)
+	return out
+}

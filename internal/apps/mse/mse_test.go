@@ -1,0 +1,121 @@
+package mse
+
+import (
+	"testing"
+
+	"repro/internal/cmmd"
+	"repro/internal/cost"
+	"repro/internal/stats"
+)
+
+func smallParams() Params { return Params{Bodies: 16, Elems: 4, Iters: 10, Seed: 7} }
+
+func TestProblemGeneratorDominance(t *testing.T) {
+	pr := genProblem(smallParams(), 4)
+	for i := 0; i < pr.nm; i++ {
+		sum := 0.0
+		for j := 0; j < pr.nm; j++ {
+			if j != i {
+				sum += pr.kernel(i, j)
+			}
+		}
+		if pr.diag[i] <= sum {
+			t.Fatalf("row %d not diagonally dominant", i)
+		}
+	}
+	// Schedule periods are symmetric and in {1,2,4}.
+	for p := range pr.periods {
+		for q := range pr.periods[p] {
+			per := pr.periods[p][q]
+			if per != 1 && per != 2 && per != 4 {
+				t.Fatalf("period[%d][%d] = %d", p, q, per)
+			}
+			if per != pr.periods[q][p] {
+				t.Fatalf("schedule asymmetric at %d,%d", p, q)
+			}
+		}
+	}
+}
+
+func TestMSEMPMatchesReferenceExactly(t *testing.T) {
+	out := RunMP(cost.Default(4), cmmd.LopSided, smallParams())
+	if out.RefErr != 0 {
+		t.Errorf("MP deviates from scheduled-Jacobi reference by %v", out.RefErr)
+	}
+	if out.Residual > 0.05 {
+		t.Errorf("residual %v has not converged", out.Residual)
+	}
+}
+
+func TestMSESMTracksReference(t *testing.T) {
+	out := RunSM(cost.Default(4), smallParams())
+	// SM reads race ahead nondeterministically (as on the real machine);
+	// the trajectory stays close to the reference.
+	if out.RefErr > 0.05 {
+		t.Errorf("SM deviates from reference by %v", out.RefErr)
+	}
+	if out.Residual > 0.05 {
+		t.Errorf("residual %v has not converged", out.Residual)
+	}
+}
+
+func TestMSEComputationDominates(t *testing.T) {
+	p := Params{Bodies: 32, Elems: 6, Iters: 6, Seed: 2}
+	mp := RunMP(cost.Default(8), cmmd.LopSided, p)
+	s := mp.Res.Summary
+	comp := s.CyclesAll(stats.Comp)
+	if frac := comp / s.TotalCyclesAll(); frac < 0.75 {
+		t.Errorf("MP computation fraction %.2f, want > 0.75 (paper: 0.90)", frac)
+	}
+	sm := RunSM(cost.Default(8), p)
+	ss := sm.Res.Summary
+	// At this reduced scale the fixed start-up phase weighs more than at
+	// the paper's size (where computation reaches 82%).
+	if frac := ss.CyclesAll(stats.Comp) / ss.TotalCyclesAll(); frac < 0.4 {
+		t.Errorf("SM computation fraction %.2f, want > 0.4", frac)
+	}
+	// Start-up wait appears only in the shared-memory version.
+	if ss.CyclesAll(stats.StartupWait) == 0 {
+		t.Error("SM should charge start-up wait")
+	}
+	if s.CyclesAll(stats.StartupWait) != 0 {
+		t.Error("MP must not charge start-up wait")
+	}
+}
+
+func TestMSEScheduleReducesTraffic(t *testing.T) {
+	// Without the schedule (all periods 1), communication increases.
+	p := Params{Bodies: 32, Elems: 4, Iters: 8, Seed: 2}
+	withSched := RunMP(cost.Default(8), cmmd.LopSided, p)
+	pr := genProblem(p, 8)
+	forced := 0
+	for q := range pr.periods {
+		for r := range pr.periods[q] {
+			if pr.periods[q][r] > 1 {
+				forced++
+			}
+		}
+	}
+	if forced == 0 {
+		t.Skip("geometry yielded no far pairs at this size")
+	}
+	bytes := withSched.Res.Summary.CountsAll(stats.CntBytesData)
+	// Upper bound if every pair were fetched every iteration:
+	per := float64(8*7) / 8 * float64(p.Iters) * float64(p.Bodies/8*p.Elems) * 8
+	if bytes >= per {
+		t.Errorf("scheduled traffic %v should be below the unscheduled bound %v", bytes, per)
+	}
+}
+
+func TestMSEDeterminism(t *testing.T) {
+	a := RunMP(cost.Default(4), cmmd.LopSided, smallParams())
+	b := RunMP(cost.Default(4), cmmd.LopSided, smallParams())
+	if a.Res.Elapsed != b.Res.Elapsed {
+		t.Errorf("MP nondeterministic: %d vs %d", a.Res.Elapsed, b.Res.Elapsed)
+	}
+	c := RunSM(cost.Default(4), smallParams())
+	d := RunSM(cost.Default(4), smallParams())
+	if c.Res.Elapsed != d.Res.Elapsed {
+		t.Errorf("SM nondeterministic: %d vs %d", c.Res.Elapsed, d.Res.Elapsed)
+	}
+}

@@ -1,0 +1,271 @@
+// Package cmmd reimplements the structure of Thinking Machines' CMMD
+// message-passing library over the active-message layer, as the paper
+// describes in §4.1: per-node send and receive "channels" initialized with
+// destination, byte count, and buffer addresses; channel sends that break
+// data into 20-byte packets injected into the network; data-packet handlers
+// (invoked by polling) that store payloads to memory and count the
+// transmission's progress; and high-level sends/receives that handshake to
+// exchange the receiver's channel number. Programs with static communication
+// use channels directly to avoid the handshake (the paper's EM3D and LCP do
+// exactly this).
+package cmmd
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/am"
+	"repro/internal/cost"
+	"repro/internal/memsim"
+	"repro/internal/ni"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// elemsPerPacket returns how many elements of size elemBytes fit a packet
+// payload (16 bytes holds two doubles or four singles).
+func elemsPerPacket(cfg *cost.Config, elemBytes int) int {
+	n := cfg.PacketPayload / elemBytes
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// RecvChannel is a receiver-side channel: a registered destination buffer
+// plus transfer bookkeeping. Channels re-arm automatically when a transfer
+// completes, matching the repeated fixed-size transfers they are used for.
+type RecvChannel struct {
+	ID int
+
+	baseAddr    uint64
+	elemBytes   int
+	store       func(word int, w uint64)
+	expectWords int
+	gotWords    int
+	completions int64
+}
+
+// Completions returns how many full transfers have arrived.
+func (c *RecvChannel) Completions() int64 { return c.completions }
+
+// Endpoint is one node's CMMD library state.
+type Endpoint struct {
+	Self  int
+	Nodes int
+	AM    *am.AM
+	P     *sim.Proc
+	Mem   *memsim.Mem
+	Cfg   *cost.Config
+	Bar   *sim.Barrier
+
+	recvCh []*RecvChannel
+
+	hData int // data-packet handler
+	hRTS  int // request-to-send (handshake)
+	hCTS  int // clear-to-send (grants a channel id)
+
+	// Send/receive matching state.
+	postedRecvs map[int][]*RecvChannel // tag -> ready channels (FIFO)
+	pendingRTS  map[int][]rts          // tag -> senders awaiting a receiver
+	ctsGrants   map[int][]int          // src -> granted channel ids (FIFO)
+}
+
+type rts struct {
+	src   int
+	words int
+}
+
+// NewEndpoint builds the CMMD layer for one node. bar is the machine's
+// hardware barrier.
+func NewEndpoint(self, nodes int, a *am.AM, mem *memsim.Mem, bar *sim.Barrier) *Endpoint {
+	ep := &Endpoint{
+		Self: self, Nodes: nodes, AM: a, P: a.P, Mem: mem, Cfg: a.Cfg, Bar: bar,
+		postedRecvs: make(map[int][]*RecvChannel),
+		pendingRTS:  make(map[int][]rts),
+		ctsGrants:   make(map[int][]int),
+	}
+	ep.hData = a.Register(ep.onData)
+	ep.hRTS = a.Register(ep.onRTS)
+	ep.hCTS = a.Register(ep.onCTS)
+	return ep
+}
+
+// Barrier enters the hardware barrier (CMMD_sync_with_nodes).
+func (ep *Endpoint) Barrier() { ep.Bar.Wait(ep.P, stats.BarrierWait) }
+
+// Poll lets the library make progress; applications with asynchronous
+// servicing responsibilities call it inside compute loops.
+func (ep *Endpoint) Poll() bool { return ep.AM.Poll() }
+
+// --- Channels ---
+
+// OpenRecvChannelF registers elements [lo, hi) of vec as a channel
+// destination and returns the channel. The channel id must be communicated
+// to the sender (by handshake or by symmetric construction).
+func (ep *Endpoint) OpenRecvChannelF(vec *memsim.FVec, lo, hi int) *RecvChannel {
+	return ep.openRecv(vec.Addr(lo), hi-lo, vec.ElemBytes, func(w int, bits uint64) {
+		vec.V[lo+w] = math.Float64frombits(bits)
+	})
+}
+
+// OpenRecvChannelI registers elements [lo, hi) of an IVec as a channel
+// destination.
+func (ep *Endpoint) OpenRecvChannelI(vec *memsim.IVec, lo, hi int) *RecvChannel {
+	return ep.openRecv(vec.Addr(lo), hi-lo, memsim.WordBytes, func(w int, bits uint64) {
+		vec.V[lo+w] = int64(bits)
+	})
+}
+
+func (ep *Endpoint) openRecv(base uint64, words, elemBytes int, store func(int, uint64)) *RecvChannel {
+	if words <= 0 {
+		panic("cmmd: empty receive channel")
+	}
+	c := &RecvChannel{ID: len(ep.recvCh), baseAddr: base, elemBytes: elemBytes,
+		store: store, expectWords: words}
+	ep.recvCh = append(ep.recvCh, c)
+	return c
+}
+
+// onData is the data-packet handler: it stores the payload words into the
+// channel's buffer (through the cache — library misses are real) and counts
+// transfer progress.
+func (ep *Endpoint) onData(pkt ni.Packet) {
+	ch := ep.recvCh[int(pkt.Args[0])]
+	off := int(pkt.Args[1])
+	ep.Mem.WriteRange(ch.baseAddr+uint64(off*ch.elemBytes),
+		len(pkt.Data)*ch.elemBytes)
+	for i, w := range pkt.Data {
+		ch.store(off+i, w)
+	}
+	ch.gotWords += len(pkt.Data)
+	if ch.gotWords > ch.expectWords {
+		panic(fmt.Sprintf("cmmd: node %d channel %d overrun", ep.Self, ch.ID))
+	}
+	if ch.gotWords == ch.expectWords {
+		ch.gotWords = 0
+		ch.completions++
+	}
+}
+
+// ChannelWriteF streams elements [lo, hi) of vec to channel chID on dst:
+// the library reads the data from memory, breaks it into packets, and
+// injects them (paper §4.1). One channel-write op is counted regardless of
+// packet count.
+func (ep *Endpoint) ChannelWriteF(dst, chID int, vec *memsim.FVec, lo, hi int) {
+	words := make([]uint64, hi-lo)
+	for i := lo; i < hi; i++ {
+		words[i-lo] = math.Float64bits(vec.V[i])
+	}
+	ep.channelWrite(dst, chID, words, vec.Addr(lo), vec.ElemBytes)
+}
+
+// ChannelWriteI streams elements [lo, hi) of an IVec to channel chID on dst.
+func (ep *Endpoint) ChannelWriteI(dst, chID int, vec *memsim.IVec, lo, hi int) {
+	words := make([]uint64, hi-lo)
+	for i := lo; i < hi; i++ {
+		words[i-lo] = uint64(vec.V[i])
+	}
+	ep.channelWrite(dst, chID, words, vec.Addr(lo), memsim.WordBytes)
+}
+
+func (ep *Endpoint) channelWrite(dst, chID int, words []uint64, srcAddr uint64, elemBytes int) {
+	p := ep.P
+	p.Interact()
+	p.PushMode(stats.LibComp, stats.LibMiss, stats.CntLibMisses)
+	defer p.PopMode()
+	p.Acct.Add(stats.CntChannelWrites, 1)
+	p.ChargeStall(stats.LibComp, ep.Cfg.CMMDCallCycles)
+	per := elemsPerPacket(ep.Cfg, elemBytes)
+	for off := 0; off < len(words); off += per {
+		end := off + per
+		if end > len(words) {
+			end = len(words)
+		}
+		// The library loads the payload from memory, then injects it.
+		ep.Mem.ReadRange(srcAddr+uint64(off*elemBytes), (end-off)*elemBytes)
+		p.ChargeStall(stats.LibComp, ep.Cfg.CMMDPerPacket)
+		ep.AM.NI.Send(ni.Packet{
+			Dst: dst, Tag: ep.hData,
+			Args:      [4]uint64{uint64(chID), uint64(off)},
+			Data:      words[off:end],
+			DataBytes: (end - off) * elemBytes,
+		})
+	}
+}
+
+// WaitChannel polls until the channel has completed at least n transfers.
+func (ep *Endpoint) WaitChannel(ch *RecvChannel, n int64) {
+	ep.AM.PollUntil(func() bool { return ch.completions >= n })
+}
+
+// --- High-level send/receive (RTS/CTS handshake) ---
+
+// onRTS queues or answers a sender's request-to-send.
+func (ep *Endpoint) onRTS(pkt ni.Packet) {
+	tag := int(pkt.Args[0])
+	words := int(pkt.Args[1])
+	if chs := ep.postedRecvs[tag]; len(chs) > 0 {
+		ch := chs[0]
+		ep.postedRecvs[tag] = chs[1:]
+		ep.grantCTS(pkt.Src, ch, words)
+		return
+	}
+	ep.pendingRTS[tag] = append(ep.pendingRTS[tag], rts{src: pkt.Src, words: words})
+}
+
+func (ep *Endpoint) grantCTS(src int, ch *RecvChannel, words int) {
+	if words != ch.expectWords {
+		panic(fmt.Sprintf("cmmd: node %d: send of %d words to recv of %d",
+			ep.Self, words, ch.expectWords))
+	}
+	ep.AM.Request(src, ep.hCTS, [4]uint64{uint64(ch.ID)}, 0, nil)
+}
+
+// onCTS records a clear-to-send grant for a pending send.
+func (ep *Endpoint) onCTS(pkt ni.Packet) {
+	ep.ctsGrants[pkt.Src] = append(ep.ctsGrants[pkt.Src], int(pkt.Args[0]))
+}
+
+// RecvPost posts a receive of hi-lo elements into vec with the given tag.
+// Use Completions on the returned channel (or WaitChannel) to detect
+// delivery.
+func (ep *Endpoint) RecvPost(tag int, vec *memsim.FVec, lo, hi int) *RecvChannel {
+	p := ep.P
+	p.Interact()
+	p.PushMode(stats.LibComp, stats.LibMiss, stats.CntLibMisses)
+	p.ChargeStall(stats.LibComp, ep.Cfg.CMMDCallCycles)
+	ch := ep.OpenRecvChannelF(vec, lo, hi)
+	if rs := ep.pendingRTS[tag]; len(rs) > 0 {
+		r := rs[0]
+		ep.pendingRTS[tag] = rs[1:]
+		ep.grantCTS(r.src, ch, r.words)
+	} else {
+		ep.postedRecvs[tag] = append(ep.postedRecvs[tag], ch)
+	}
+	p.PopMode()
+	return ch
+}
+
+// SendBlock sends elements [lo, hi) of vec to dst with a tag, blocking until
+// the handshake completes and the data has been injected (CMMD's synchronous
+// send: RTS, wait for CTS, stream packets to the granted channel).
+func (ep *Endpoint) SendBlock(dst, tag int, vec *memsim.FVec, lo, hi int) {
+	p := ep.P
+	p.Interact()
+	p.PushMode(stats.LibComp, stats.LibMiss, stats.CntLibMisses)
+	p.ChargeStall(stats.LibComp, ep.Cfg.CMMDCallCycles)
+	ep.AM.Request(dst, ep.hRTS, [4]uint64{uint64(tag), uint64(hi - lo)}, 0, nil)
+	p.PopMode()
+	ep.AM.PollUntil(func() bool { return len(ep.ctsGrants[dst]) > 0 })
+	grants := ep.ctsGrants[dst]
+	chID := grants[0]
+	ep.ctsGrants[dst] = grants[1:]
+	ep.ChannelWriteF(dst, chID, vec, lo, hi)
+}
+
+// RecvBlock posts a receive and blocks until the data arrives.
+func (ep *Endpoint) RecvBlock(tag int, vec *memsim.FVec, lo, hi int) {
+	ch := ep.RecvPost(tag, vec, lo, hi)
+	ep.WaitChannel(ch, 1)
+}

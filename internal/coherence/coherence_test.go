@@ -1,0 +1,318 @@
+package coherence_test
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/machine"
+	"repro/internal/memsim"
+	"repro/internal/parmacs"
+	"repro/internal/stats"
+)
+
+// run2 runs a two-node SM program where node 0 sets up shared data and node
+// 1 acts; barriers separate the steps.
+func runSM(t *testing.T, procs int, policy parmacs.Policy, prog func(n *machine.SMNode)) *machine.SMMachine {
+	t.Helper()
+	m := machine.NewSM(cost.Default(procs), policy, prog)
+	m.Run()
+	return m
+}
+
+func TestRemoteReadMissCostNearPaperValue(t *testing.T) {
+	// The paper: a miss to idle remote data costs roughly 250 cycles.
+	cfg := cost.Default(2)
+	var missCycles int64
+	shared := make(chan memsim.FVec, 1)
+	m := machine.NewSM(cfg, parmacs.RoundRobin, func(n *machine.SMNode) {
+		if n.ID == 0 {
+			// Home the vector at node 0 so node 1's access is remote.
+			v := n.RT.GMallocFOn(0, 8)
+			v.V[0] = 7
+			shared <- v
+			n.RT.Create(n.P)
+		} else {
+			n.RT.WaitCreate(n.P)
+		}
+		n.Barrier()
+		if n.ID == 1 {
+			v := <-shared
+			before := n.P.Acct.Cycles(stats.PhaseDefault, stats.SharedMiss)
+			if got := v.Get(n.Mem, 0); got != 7 {
+				t.Errorf("read value %v, want 7", got)
+			}
+			missCycles = n.P.Acct.Cycles(stats.PhaseDefault, stats.SharedMiss) - before
+		}
+		n.Barrier()
+	})
+	m.Run()
+	if missCycles < 220 || missCycles > 290 {
+		t.Errorf("remote idle miss = %d cycles, want ~250", missCycles)
+	}
+	rm := m.Nodes[1].P.Acct.Counts(stats.PhaseDefault, stats.CntSharedMissRemote)
+	if rm != 1 {
+		t.Errorf("remote shared misses = %d, want 1", rm)
+	}
+}
+
+func TestLocalSharedMissCheaperThanRemote(t *testing.T) {
+	cfg := cost.Default(2)
+	var local, remote int64
+	m := machine.NewSM(cfg, parmacs.RoundRobin, func(n *machine.SMNode) {
+		if n.ID == 1 {
+			vLocal := n.RT.GMallocFOn(1, 4)  // homed here
+			vRemote := n.RT.GMallocFOn(0, 4) // homed at node 0
+			b := n.P.Acct.Cycles(stats.PhaseDefault, stats.SharedMiss)
+			vLocal.Get(n.Mem, 0)
+			local = n.P.Acct.Cycles(stats.PhaseDefault, stats.SharedMiss) - b
+			b = n.P.Acct.Cycles(stats.PhaseDefault, stats.SharedMiss)
+			vRemote.Get(n.Mem, 0)
+			remote = n.P.Acct.Cycles(stats.PhaseDefault, stats.SharedMiss) - b
+		}
+		n.Barrier()
+	})
+	m.Run()
+	if local >= remote {
+		t.Errorf("local miss %d should be cheaper than remote %d", local, remote)
+	}
+	if local < 40 || local > 120 {
+		t.Errorf("local shared miss = %d cycles, want well under remote", local)
+	}
+}
+
+func TestReadHitAfterFetchIsFree(t *testing.T) {
+	cfg := cost.Default(2)
+	m := machine.NewSM(cfg, parmacs.RoundRobin, func(n *machine.SMNode) {
+		if n.ID == 1 {
+			v := n.RT.GMallocFOn(0, 4)
+			v.Get(n.Mem, 0)
+			b := n.P.Acct.TotalCycles(stats.PhaseDefault)
+			v.Get(n.Mem, 1) // same block, cached
+			if d := n.P.Acct.TotalCycles(stats.PhaseDefault) - b; d != 0 {
+				t.Errorf("cached read cost %d cycles, want 0", d)
+			}
+		}
+		n.Barrier()
+	})
+	m.Run()
+}
+
+func TestWriteFaultInvalidatesSharer(t *testing.T) {
+	cfg := cost.Default(2)
+	var v memsim.FVec
+	var reader2 float64
+	m := machine.NewSM(cfg, parmacs.RoundRobin, func(n *machine.SMNode) {
+		if n.ID == 0 {
+			v = n.RT.GMallocFOn(0, 4)
+			v.V[0] = 1
+		}
+		n.Barrier()
+		// Both read: both become sharers.
+		v.Get(n.Mem, 0)
+		n.Barrier()
+		if n.ID == 0 {
+			v.Set(n.Mem, 0, 2) // write fault: invalidates node 1
+		}
+		n.Barrier()
+		if n.ID == 1 {
+			reader2 = v.Get(n.Mem, 0) // must re-miss and see 2
+		}
+		n.Barrier()
+	})
+	m.Run()
+	if reader2 != 2 {
+		t.Errorf("reader saw %v after invalidation, want 2", reader2)
+	}
+	wf := m.Nodes[0].P.Acct.Counts(stats.PhaseDefault, stats.CntWriteFaults)
+	if wf != 1 {
+		t.Errorf("write faults = %d, want 1", wf)
+	}
+	// Node 1 missed twice: initial read + post-invalidation read.
+	misses := m.Nodes[1].P.Acct.Counts(stats.PhaseDefault, stats.CntSharedMissLocal) +
+		m.Nodes[1].P.Acct.Counts(stats.PhaseDefault, stats.CntSharedMissRemote)
+	if misses != 2 {
+		t.Errorf("node 1 shared misses = %d, want 2", misses)
+	}
+}
+
+func TestThreeHopReadOfModifiedBlock(t *testing.T) {
+	cfg := cost.Default(3)
+	var v memsim.FVec
+	var got float64
+	var cyc int64
+	m := machine.NewSM(cfg, parmacs.RoundRobin, func(n *machine.SMNode) {
+		if n.ID == 0 {
+			v = n.RT.GMallocFOn(0, 4) // home 0
+		}
+		n.Barrier()
+		if n.ID == 1 {
+			v.Set(n.Mem, 0, 9) // node 1 becomes exclusive owner
+		}
+		n.Barrier()
+		if n.ID == 2 {
+			b := n.P.Acct.Cycles(stats.PhaseDefault, stats.SharedMiss)
+			got = v.Get(n.Mem, 0) // 3-hop: 2 -> home 0 -> owner 1 -> back
+			cyc = n.P.Acct.Cycles(stats.PhaseDefault, stats.SharedMiss) - b
+		}
+		n.Barrier()
+	})
+	m.Run()
+	if got != 9 {
+		t.Errorf("read %v, want 9", got)
+	}
+	if cyc < 400 {
+		t.Errorf("3-hop miss = %d cycles, want > 400 (two extra hops)", cyc)
+	}
+	// Owner was downgraded, not invalidated: its next read hits.
+	if st := m.Nodes[1].Mem.Cache.Lookup(v.Addr(0) >> 5); st != memsim.Shared {
+		t.Errorf("owner state after downgrade = %d, want Shared", st)
+	}
+}
+
+func TestSingleWriterInvariant(t *testing.T) {
+	// Property over interleavings: after the run, at most one cache holds
+	// the block Modified, and if one does, no other holds it at all.
+	cfg := cost.Default(4)
+	var v memsim.FVec
+	m := machine.NewSM(cfg, parmacs.RoundRobin, func(n *machine.SMNode) {
+		if n.ID == 0 {
+			v = n.RT.GMallocFOn(2, 8)
+		}
+		n.Barrier()
+		for k := 0; k < 10; k++ {
+			if (k+n.ID)%3 == 0 {
+				v.Set(n.Mem, 0, float64(n.ID*100+k))
+			} else {
+				v.Get(n.Mem, 0)
+			}
+			n.Compute(int64(37 * (n.ID + 1)))
+		}
+		n.Barrier()
+	})
+	m.Run()
+	block := v.Addr(0) >> 5
+	modified, present := 0, 0
+	for _, nd := range m.Nodes {
+		switch nd.Mem.Cache.Lookup(block) {
+		case memsim.Modified:
+			modified++
+			present++
+		case memsim.Shared:
+			present++
+		}
+	}
+	if modified > 1 {
+		t.Errorf("%d caches hold the block Modified", modified)
+	}
+	if modified == 1 && present != 1 {
+		t.Errorf("modified copy coexists with %d other copies", present-1)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	cfg := cost.Default(2)
+	sets := cfg.Sets()
+	var v memsim.FVec
+	var got float64
+	m := machine.NewSM(cfg, parmacs.RoundRobin, func(n *machine.SMNode) {
+		if n.ID == 0 {
+			v = n.RT.GMallocFOn(1, 4) // homed at node 1
+		}
+		n.Barrier()
+		if n.ID == 0 {
+			v.Set(n.Mem, 0, 5) // dirty at node 0
+			// Evict it by filling the set with private blocks.
+			priv := n.AllocF((cfg.CacheAssoc + 4) * sets * cfg.BlockBytes / 8)
+			stride := sets * cfg.BlockBytes / 8
+			setIdx := int((v.Addr(0) >> 5) % uint64(sets))
+			base := setIdx * cfg.BlockBytes / 8
+			for w := 0; w < cfg.CacheAssoc+4; w++ {
+				priv.Get(n.Mem, base+w*stride)
+			}
+		}
+		n.Barrier()
+		if n.ID == 1 {
+			got = v.Get(n.Mem, 0) // memory at home must be current
+		}
+		n.Barrier()
+	})
+	m.Run()
+	if got != 5 {
+		t.Errorf("read after writeback = %v, want 5", got)
+	}
+	if m.Pr.Writebacks == 0 {
+		t.Error("no writeback recorded")
+	}
+	if st, _ := m.Pr.DirStateOf(v.Addr(0)); st == "excl" {
+		t.Errorf("directory still exclusive after writeback + re-read: %s", st)
+	}
+}
+
+func TestDirectoryContentionQueues(t *testing.T) {
+	// Many nodes storming one home block: queue delay must appear (the
+	// paper measures ~200-cycle average queuing at Gauss's directory).
+	cfg := cost.Default(16)
+	var v memsim.FVec
+	m := machine.NewSM(cfg, parmacs.RoundRobin, func(n *machine.SMNode) {
+		if n.ID == 0 {
+			v = n.RT.GMallocFOn(0, 4)
+			v.V[0] = 3
+		}
+		n.Barrier()
+		v.Get(n.Mem, 0) // everyone at once
+		n.Barrier()
+	})
+	m.Run()
+	if m.Pr.QueueDelay == 0 {
+		t.Error("no directory queuing delay under a 16-node storm")
+	}
+}
+
+func TestSMMessageByteAccounting(t *testing.T) {
+	cfg := cost.Default(2)
+	m := machine.NewSM(cfg, parmacs.RoundRobin, func(n *machine.SMNode) {
+		if n.ID == 1 {
+			v := n.RT.GMallocFOn(0, 4)
+			v.Get(n.Mem, 0)
+		}
+		n.Barrier()
+	})
+	res := m.Run()
+	// One remote read: request (40 control) from node 1, reply (32 data +
+	// 8 control) from node 0.
+	data := res.Summary.CountsAll(stats.CntBytesData) * 2 // undo the 2-proc average
+	ctl := res.Summary.CountsAll(stats.CntBytesControl) * 2
+	if data != 32 {
+		t.Errorf("data bytes = %v, want 32", data)
+	}
+	if ctl != 48 {
+		t.Errorf("control bytes = %v, want 48", ctl)
+	}
+}
+
+func TestSMDeterminism(t *testing.T) {
+	run := func() (int64, float64) {
+		cfg := cost.Default(8)
+		var v memsim.FVec
+		m := machine.NewSM(cfg, parmacs.RoundRobin, func(n *machine.SMNode) {
+			if n.ID == 0 {
+				v = n.RT.GMallocF(0, 256)
+			}
+			n.Barrier()
+			for k := 0; k < 20; k++ {
+				i := (n.ID*31 + k*7) % 256
+				v.Set(n.Mem, i, float64(n.ID+k))
+				v.Get(n.Mem, (i+13)%256)
+				n.Compute(int64(11 * (n.ID + 1)))
+			}
+			n.Barrier()
+		})
+		res := m.Run()
+		return int64(res.Elapsed), res.Summary.TotalCyclesAll()
+	}
+	e1, t1 := run()
+	e2, t2 := run()
+	if e1 != e2 || t1 != t2 {
+		t.Errorf("nondeterministic SM run: (%d,%v) vs (%d,%v)", e1, t1, e2, t2)
+	}
+}

@@ -1,0 +1,427 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+	"repro/internal/sim"
+)
+
+type reqKind int
+
+const (
+	reqGETS reqKind = iota
+	reqGETX
+	reqUPGRADE
+)
+
+func (k reqKind) String() string {
+	switch k {
+	case reqGETS:
+		return "GETS"
+	case reqGETX:
+		return "GETX"
+	case reqUPGRADE:
+		return "UPGRADE"
+	}
+	return fmt.Sprintf("reqKind(%d)", int(k))
+}
+
+type request struct {
+	kind  reqKind
+	block uint64
+	reqID int
+	m     *memsim.Mem
+}
+
+type dirState uint8
+
+const (
+	dirIdle dirState = iota
+	dirShared
+	dirExcl
+)
+
+// bitset is a full-map sharer set (Dir_n: one presence bit per node).
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) clear(i int)    { b[i/64] &^= 1 << (i % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+func (b bitset) reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+func (b bitset) forEach(fn func(i int)) {
+	for wi, w := range b {
+		for ; w != 0; w &= w - 1 {
+			bit := w & -w
+			i := wi*64 + trailingZeros(bit)
+			fn(i)
+		}
+	}
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// entry is one block's directory state at its home.
+type entry struct {
+	state   dirState
+	sharers bitset
+	owner   int
+
+	busy    bool
+	pend    *txn
+	waiters []pendingReq
+
+	// settleUntil defers requests for this block until a freshly granted
+	// write has had time to retire at its owner (the transient-state
+	// deferral real directory protocols perform). Without it, a hot reader
+	// can steal a granted line before the owner's store completes, forcing
+	// an endless upgrade-downgrade orbit.
+	settleUntil sim.Time
+}
+
+type pendingReq struct {
+	r      request
+	arrive sim.Time
+}
+
+// txn is a multi-hop transaction in progress (invalidation round or recall).
+type txn struct {
+	r          request
+	arrive     sim.Time // original request arrival, for queue-delay stats
+	acksLeft   int
+	needData   bool // the final reply carries the block
+	recall     bool // waiting on the exclusive owner
+	recallFrom int
+	gotData    bool // recall data (or racing writeback) has arrived
+	awaitWB    bool // owner had already evicted; waiting for its writeback
+}
+
+func (pr *Protocol) entryOf(home int, block uint64) *entry {
+	n := pr.nodes[home]
+	e := n.dir[block]
+	if e == nil {
+		e = &entry{state: dirIdle, sharers: newBitset(pr.Cfg.Procs), owner: -1}
+		n.dir[block] = e
+	}
+	return e
+}
+
+// dirHandle processes a request arriving at home at time arrive. If the
+// block has a transaction in flight the request queues behind it; otherwise
+// it waits for the directory server to be free (contention) and is serviced.
+func (pr *Protocol) dirHandle(home int, r request, arrive sim.Time) {
+	e := pr.entryOf(home, r.block)
+	if Debug {
+		trace("dir home=%d %v block=%#x from=%d arrive=%d busy=%v state=%d",
+			home, r.kind, r.block, r.reqID, arrive, e.busy, e.state)
+	}
+	if e.busy {
+		e.waiters = append(e.waiters, pendingReq{r: r, arrive: arrive})
+		return
+	}
+	if arrive < e.settleUntil {
+		at := e.settleUntil
+		pr.Eng.Schedule(at, func() { pr.dirHandle(home, r, at) })
+		return
+	}
+	n := pr.nodes[home]
+	start := arrive
+	if n.busyUntil > start {
+		pr.QueueDelay += n.busyUntil - start
+		start = n.busyUntil
+	}
+	pr.QueueEvents++
+	cfg := pr.Cfg
+
+	switch r.kind {
+	case reqGETS:
+		if e.state != dirExcl {
+			// Memory is current: read DRAM, send the block. The directory
+			// state machine is occupied for the lookup and DRAM read; the
+			// send engine adds its cycles to the reply path but can overlap
+			// the next request.
+			n.busyUntil = start + cfg.DirBase + cfg.DRAMCycles
+			e.state = dirShared
+			e.sharers.set(r.reqID)
+			pr.reply(home, r, n.busyUntil+cfg.DirMsgSend+cfg.DirBlockSend, true)
+			return
+		}
+		pr.beginRecall(home, e, r, arrive, start)
+
+	case reqGETX, reqUPGRADE:
+		needData := r.kind == reqGETX || !e.sharers.has(r.reqID)
+		switch e.state {
+		case dirExcl:
+			if e.owner == r.reqID {
+				// Stale request (e.g. we already own it); grant cheaply.
+				n.busyUntil = start + cfg.DirBase + cfg.DirMsgSend
+				pr.settle(e, pr.reply(home, r, n.busyUntil, false))
+				return
+			}
+			pr.beginRecall(home, e, r, arrive, start)
+		default:
+			var others []int
+			e.sharers.forEach(func(i int) {
+				if i != r.reqID {
+					others = append(others, i)
+				}
+			})
+			if len(others) == 0 {
+				occ, send := cfg.DirBase, cfg.DirMsgSend
+				if needData {
+					occ += cfg.DRAMCycles
+					send += cfg.DirBlockSend
+				}
+				n.busyUntil = start + occ
+				e.state = dirExcl
+				e.sharers.reset()
+				e.owner = r.reqID
+				pr.settle(e, pr.reply(home, r, n.busyUntil+send, needData))
+				return
+			}
+			// Invalidate every other sharer, collect acknowledgements.
+			e.busy = true
+			e.pend = &txn{r: r, arrive: arrive, acksLeft: len(others), needData: needData}
+			cost := cfg.DirBase + int64(len(others))*cfg.DirMsgSend
+			if needData {
+				cost += cfg.DRAMCycles
+			}
+			n.busyUntil = start + cost
+			for _, s := range others {
+				pr.Invals++
+				pr.countMsg(home, s, false)
+				sID := s
+				at := n.busyUntil + pr.latency(home, s)
+				pr.Eng.Schedule(at, func() { pr.ctrlInval(sID, home, r.block, at, false) })
+			}
+		}
+	}
+}
+
+// beginRecall starts fetching the block back from its exclusive owner.
+func (pr *Protocol) beginRecall(home int, e *entry, r request, arrive, start sim.Time) {
+	n := pr.nodes[home]
+	cfg := pr.Cfg
+	e.busy = true
+	e.pend = &txn{r: r, arrive: arrive, acksLeft: 1, needData: true,
+		recall: true, recallFrom: e.owner}
+	n.busyUntil = start + cfg.DirBase + cfg.DirMsgSend
+	owner := e.owner
+	pr.countMsg(home, owner, false)
+	at := n.busyUntil + pr.latency(home, owner)
+	block := r.block
+	// A GETS recall downgrades the owner to Shared; GETX/UPGRADE recalls
+	// invalidate it.
+	downgrade := r.kind == reqGETS
+	pr.Eng.Schedule(at, func() { pr.ctrlRecall(owner, home, block, at, downgrade) })
+}
+
+// ctrlInval is the cache controller on node id invalidating block for an
+// invalidation round. The controller acts independently of its processor;
+// its cost appears only as transaction latency.
+func (pr *Protocol) ctrlInval(id, home int, block uint64, at sim.Time, _ bool) {
+	if Debug {
+		trace("ctrlInval node=%d block=%#x at=%d", id, block, at)
+	}
+	cfg := pr.Cfg
+	st := pr.nodes[id].mem.Cache.Invalidate(block)
+	pr.wakeWatchers(id, block, at)
+	delay := cfg.InvalidateCycles
+	withData := false
+	switch st {
+	case memsim.Shared:
+		delay += cfg.ReplSharedClean
+	case memsim.Modified:
+		// Racing write permission revocation with dirty data (rare under
+		// full-map, but possible across transaction boundaries).
+		delay += cfg.ReplSharedDirty
+		withData = true
+	}
+	pr.countMsg(id, home, withData)
+	ackAt := at + delay + pr.latency(id, home)
+	pr.Eng.Schedule(ackAt, func() { pr.dirAck(home, block, ackAt, withData, id) })
+}
+
+// ctrlRecall is the cache controller on the exclusive owner servicing a
+// recall: flush (downgrade or invalidate) and return the data.
+func (pr *Protocol) ctrlRecall(id, home int, block uint64, at sim.Time, downgrade bool) {
+	if Debug {
+		trace("ctrlRecall node=%d block=%#x at=%d downgrade=%v", id, block, at, downgrade)
+	}
+	cfg := pr.Cfg
+	cache := pr.nodes[id].mem.Cache
+	st := cache.Lookup(block)
+	if st == memsim.Invalid {
+		// The owner already evicted it; the writeback is (or will be) in
+		// flight. Acknowledge without data.
+		pr.countMsg(id, home, false)
+		ackAt := at + cfg.InvalidateCycles + pr.latency(id, home)
+		pr.Eng.Schedule(ackAt, func() { pr.dirAck(home, block, ackAt, false, id) })
+		return
+	}
+	if downgrade {
+		cache.SetState(block, memsim.Shared)
+	} else {
+		cache.Invalidate(block)
+		pr.wakeWatchers(id, block, at)
+	}
+	delay := cfg.InvalidateCycles + cfg.ReplSharedDirty
+	pr.countMsg(id, home, true)
+	ackAt := at + delay + pr.latency(id, home)
+	pr.Eng.Schedule(ackAt, func() { pr.dirAck(home, block, ackAt, true, id) })
+}
+
+// dirAck processes an acknowledgement (with or without data) at the home.
+func (pr *Protocol) dirAck(home int, block uint64, at sim.Time, withData bool, _ int) {
+	n := pr.nodes[home]
+	e := pr.entryOf(home, block)
+	if e.pend == nil {
+		panic(fmt.Sprintf("coherence: ack for idle block %#x at home %d", block, home))
+	}
+	cfg := pr.Cfg
+	start := at
+	if n.busyUntil > start {
+		start = n.busyUntil
+	}
+	cost := cfg.DirBase
+	if withData {
+		cost += cfg.DirBlockRecv
+		e.pend.gotData = true
+	}
+	n.busyUntil = start + cost
+	e.pend.acksLeft--
+	if e.pend.acksLeft > 0 {
+		return
+	}
+	if e.pend.recall && !e.pend.gotData {
+		// Owner had evicted; its writeback carries the data. Wait for it.
+		e.pend.awaitWB = true
+		return
+	}
+	pr.completeTxn(home, block, e)
+}
+
+// completeTxn finishes a pending transaction: update directory state, reply
+// to the requester, and drain queued requests.
+func (pr *Protocol) completeTxn(home int, block uint64, e *entry) {
+	n := pr.nodes[home]
+	cfg := pr.Cfg
+	t := e.pend
+	cost := cfg.DirMsgSend
+	if t.needData {
+		cost += cfg.DirBlockSend
+	}
+	n.busyUntil += cost
+
+	switch t.r.kind {
+	case reqGETS:
+		e.state = dirShared
+		e.sharers.reset()
+		if !t.awaitWB { // owner kept a downgraded copy unless it had evicted
+			e.sharers.set(t.recallFrom)
+		}
+		e.sharers.set(t.r.reqID)
+		e.owner = -1
+	case reqGETX, reqUPGRADE:
+		e.state = dirExcl
+		e.sharers.reset()
+		e.owner = t.r.reqID
+	}
+	grantArrive := pr.reply(home, t.r, n.busyUntil, t.needData)
+	if t.r.kind != reqGETS {
+		pr.settle(e, grantArrive)
+	}
+	e.busy = false
+	e.pend = nil
+
+	if len(e.waiters) > 0 {
+		ws := e.waiters
+		e.waiters = nil
+		when := n.busyUntil
+		for _, w := range ws {
+			w := w
+			at := when
+			if w.arrive > at {
+				at = w.arrive
+			}
+			pr.Eng.Schedule(at, func() { pr.dirHandle(home, w.r, at) })
+		}
+	}
+}
+
+// dirWriteback processes a dirty-block writeback arriving at home.
+func (pr *Protocol) dirWriteback(home int, block uint64, from int, at sim.Time) {
+	n := pr.nodes[home]
+	e := pr.entryOf(home, block)
+	start := at
+	if n.busyUntil > start {
+		start = n.busyUntil
+	}
+	n.busyUntil = start + pr.Cfg.DirBase + pr.Cfg.DirBlockRecv
+
+	if e.busy && e.pend != nil && e.pend.recall && e.pend.recallFrom == from {
+		// The writeback raced the recall; it carries the data the
+		// transaction needs.
+		e.pend.gotData = true
+		if e.pend.awaitWB {
+			pr.completeTxn(home, block, e)
+		}
+		return
+	}
+	if e.state == dirExcl && e.owner == from {
+		e.state = dirIdle
+		e.owner = -1
+		e.sharers.reset()
+	}
+	// Otherwise the writeback is stale (ownership already moved on); memory
+	// was updated by the recall path.
+}
+
+// reply delivers the directory's response to the requester: at arrival the
+// requester's cache controller installs the block (event context, so later
+// recalls and invalidations observe it), then the processor wakes.
+func (pr *Protocol) reply(home int, r request, when sim.Time, withData bool) sim.Time {
+	pr.countMsg(home, r.reqID, withData)
+	arrive := when + pr.latency(home, r.reqID)
+	state := uint8(memsim.Shared)
+	if r.kind != reqGETS {
+		state = memsim.Modified
+	}
+	p := r.m.P
+	pr.Eng.Schedule(arrive, func() {
+		repl := pr.installAt(r.m, r.block, state, arrive)
+		p.Wake(arrive, wakeInfo{replCycles: repl})
+	})
+	return arrive
+}
+
+// settle gives a freshly granted write until one quantum past its arrival
+// to retire before the directory serves the block again.
+func (pr *Protocol) settle(e *entry, grantArrive sim.Time) {
+	until := grantArrive + pr.Eng.Quantum
+	if until > e.settleUntil {
+		e.settleUntil = until
+	}
+}

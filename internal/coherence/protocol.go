@@ -1,0 +1,361 @@
+// Package coherence implements the shared-memory machine's full-map
+// write-invalidate Dir_nNB cache-coherence protocol (Agarwal et al., ISCA
+// 1988), as simulated in the paper's shared-memory Wind Tunnel (§4.2).
+//
+// Every node's local memory has global addresses. A directory at each
+// block's home node tracks the copyset; read misses fetch a read-only copy,
+// writes to blocks with other sharers invalidate them (the fewest possible
+// invalidations, since the map is full), and writes stall the processor
+// until ownership is granted — the memory is sequentially consistent. The
+// directory at each node is a serial server, so bursts of requests to one
+// home queue and experience contention delay (the paper observes ~200-cycle
+// average queuing delay at Gauss's pivot-row home).
+//
+// Data values live in the applications' Go backing stores; the protocol
+// provides timing, traffic accounting, and the invalidation signals that
+// spin-wait primitives sleep on.
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/memsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Protocol is the machine-wide coherence state: one directory and cache
+// controller per node.
+type Protocol struct {
+	Eng *sim.Engine
+	Cfg *cost.Config
+
+	nodes  []*node
+	pshift uint
+
+	// Aggregate transaction counters, for tests and reports.
+	Reads, Writes, Upgrades, Writebacks, Invals int64
+	QueueDelay, QueueEvents                     int64
+}
+
+type node struct {
+	id        int
+	mem       *memsim.Mem
+	dir       map[uint64]*entry
+	busyUntil sim.Time
+	watchers  map[uint64][]*sim.Proc
+}
+
+// New creates the protocol for cfg.Procs nodes.
+func New(eng *sim.Engine, cfg *cost.Config) *Protocol {
+	pr := &Protocol{Eng: eng, Cfg: cfg}
+	for 1<<pr.pshift < cfg.PageBytes {
+		pr.pshift++
+	}
+	pr.nodes = make([]*node, cfg.Procs)
+	for i := range pr.nodes {
+		pr.nodes[i] = &node{
+			id:       i,
+			dir:      make(map[uint64]*entry),
+			watchers: make(map[uint64][]*sim.Proc),
+		}
+	}
+	return pr
+}
+
+// AttachMem registers node i's memory system. Must be called for every node
+// before the simulation starts.
+func (pr *Protocol) AttachMem(i int, m *memsim.Mem) {
+	pr.nodes[i].mem = m
+	m.Shared = pr
+}
+
+func (pr *Protocol) homeOf(block uint64) int {
+	addr := block << pr.nodes[0].mem.Cache.BlockShift()
+	return memsim.HomeOf(addr, pr.Cfg.Procs, pr.pshift)
+}
+
+// latency returns the one-way message latency between two nodes: the network
+// latency, or the cheaper message-to-self for a node's own directory.
+func (pr *Protocol) latency(a, b int) int64 {
+	if a == b {
+		return pr.Cfg.MsgToSelf
+	}
+	return pr.Cfg.NetLatency
+}
+
+// countMsg tallies one protocol message sent by node n. Messages a node
+// sends to itself never enter the network and are not counted as bytes.
+func (pr *Protocol) countMsg(n, dst int, carriesBlock bool) {
+	if n == dst {
+		return
+	}
+	acct := pr.nodes[n].mem.P.Acct
+	acct.Add(stats.CntMessages, 1)
+	if carriesBlock {
+		acct.Add(stats.CntBytesData, int64(pr.Cfg.SMMsgBytes-pr.Cfg.SMMsgControlBytes))
+		acct.Add(stats.CntBytesControl, int64(pr.Cfg.SMMsgControlBytes))
+	} else {
+		acct.Add(stats.CntBytesControl, int64(pr.Cfg.SMMsgBytes))
+	}
+}
+
+// wakeInfo is passed from the reply event to the woken requester: the
+// replacement cost of whatever the installed block displaced.
+type wakeInfo struct {
+	replCycles int64
+}
+
+// ReadMiss implements memsim.SharedHandler: fetch a readable copy. The
+// block is installed by the cache controller at reply-arrival time (in
+// event context), so a subsequent recall or invalidation always observes
+// the installed line; the processor is charged when it wakes.
+func (pr *Protocol) ReadMiss(m *memsim.Mem, block uint64) {
+	p := m.P
+	home := pr.homeOf(block)
+	cat := p.SharedMissCategory()
+	if home == p.ID {
+		p.Acct.Add(stats.CntSharedMissLocal, 1)
+	} else {
+		p.Acct.Add(stats.CntSharedMissRemote, 1)
+	}
+	pr.Reads++
+	p.ChargeStall(cat, pr.Cfg.SharedMissCycles)
+	pr.countMsg(p.ID, home, false)
+	arrive := p.Clock() + pr.latency(p.ID, home)
+	r := request{kind: reqGETS, block: block, reqID: p.ID, m: m}
+	pr.Eng.Schedule(arrive, func() { pr.dirHandle(home, r, arrive) })
+	info := p.Block(cat, "shared read miss").(wakeInfo)
+	p.ChargeStall(cat, info.replCycles)
+}
+
+// WriteAccess implements memsim.SharedHandler: obtain a writable copy.
+// resident == Shared is an upgrade — a write fault in the paper's terms;
+// resident == Invalid is a write miss.
+func (pr *Protocol) WriteAccess(m *memsim.Mem, block uint64, resident uint8) {
+	p := m.P
+	home := pr.homeOf(block)
+	var cat stats.Category
+	var kind reqKind
+	if resident == memsim.Shared {
+		cat = p.WriteFaultCategory()
+		p.Acct.Add(stats.CntWriteFaults, 1)
+		kind = reqUPGRADE
+		pr.Upgrades++
+	} else {
+		cat = p.SharedMissCategory()
+		if home == p.ID {
+			p.Acct.Add(stats.CntSharedMissLocal, 1)
+		} else {
+			p.Acct.Add(stats.CntSharedMissRemote, 1)
+		}
+		kind = reqGETX
+		pr.Writes++
+	}
+	p.ChargeStall(cat, pr.Cfg.SharedMissCycles)
+	pr.countMsg(p.ID, home, false)
+	arrive := p.Clock() + pr.latency(p.ID, home)
+	r := request{kind: kind, block: block, reqID: p.ID, m: m}
+	pr.Eng.Schedule(arrive, func() { pr.dirHandle(home, r, arrive) })
+	info := p.Block(cat, "shared write access").(wakeInfo)
+	p.ChargeStall(cat, info.replCycles)
+}
+
+// installAt runs in event context at reply arrival: the cache controller
+// installs (or upgrades) the block and disposes of the victim. It returns
+// the replacement cycles to charge the waking processor.
+func (pr *Protocol) installAt(m *memsim.Mem, block uint64, state uint8, at sim.Time) int64 {
+	if cur := m.Cache.Lookup(block); cur != memsim.Invalid {
+		// Upgrade of a still-resident read-only line (or a redundant grant).
+		if state == memsim.Modified && cur == memsim.Shared {
+			m.Cache.SetState(block, memsim.Modified)
+		}
+		return 0
+	}
+	victim := m.Cache.Insert(block, state)
+	switch {
+	case victim.State == memsim.Invalid:
+		return 0
+	case !memsim.IsShared(victim.Tag << m.Cache.BlockShift()):
+		return pr.Cfg.ReplPrivate
+	case victim.State == memsim.Shared:
+		return pr.Cfg.ReplSharedClean
+	default: // dirty shared victim: write back from event context
+		home := pr.homeOf(victim.Tag)
+		pr.Writebacks++
+		pr.countMsg(m.P.ID, home, true)
+		from := m.P.ID
+		wbArrive := at + pr.latency(from, home)
+		vb := victim.Tag
+		pr.Eng.Schedule(wbArrive, func() { pr.dirWriteback(home, vb, from, wbArrive) })
+		return pr.Cfg.ReplSharedDirty
+	}
+}
+
+// Evict implements memsim.SharedHandler: replacement of a shared block.
+// Clean copies are dropped silently (the directory learns when it next
+// invalidates); dirty blocks write back to their home.
+func (pr *Protocol) Evict(m *memsim.Mem, victim memsim.Line, cat stats.Category) {
+	p := m.P
+	if victim.State == memsim.Shared {
+		p.ChargeStall(cat, pr.Cfg.ReplSharedClean)
+		return
+	}
+	p.ChargeStall(cat, pr.Cfg.ReplSharedDirty)
+	home := pr.homeOf(victim.Tag)
+	pr.Writebacks++
+	pr.countMsg(p.ID, home, true)
+	from := p.ID
+	arrive := p.Clock() + pr.latency(p.ID, home)
+	block := victim.Tag
+	pr.Eng.Schedule(arrive, func() { pr.dirWriteback(home, block, from, arrive) })
+}
+
+// Flush implements memsim.SharedHandler: an explicit software flush. Dirty
+// data writes back as usual; a clean copy sends the home a replacement
+// hint, removing this node from the copyset so future writers need not
+// invalidate it — "changing a 2-message invalidate into a single-message
+// cache replacement operation" (paper §5.3.4).
+func (pr *Protocol) Flush(m *memsim.Mem, victim memsim.Line, cat stats.Category) {
+	p := m.P
+	if victim.State == memsim.Modified {
+		pr.Evict(m, victim, cat)
+		return
+	}
+	p.ChargeStall(cat, pr.Cfg.ReplSharedClean)
+	home := pr.homeOf(victim.Tag)
+	pr.countMsg(p.ID, home, false)
+	from := p.ID
+	arrive := p.Clock() + pr.latency(p.ID, home)
+	block := victim.Tag
+	pr.Eng.Schedule(arrive, func() {
+		e := pr.entryOf(home, block)
+		// Advisory: ignore if a transaction is mid-flight for the block.
+		if !e.busy && e.state == dirShared {
+			e.sharers.clear(from)
+		}
+	})
+}
+
+// Watch registers p to be woken when the block containing addr is
+// invalidated in p's own cache. Used by spin-wait primitives: an MCS lock
+// holder's release write invalidates the spinner's cached copy, which is
+// exactly the wake signal. A spinner may only sleep while it holds a valid
+// copy — if the line has already been invalidated (the signal raced ahead of
+// the registration), Watch reports false and the caller must re-read.
+func (pr *Protocol) Watch(m *memsim.Mem, addr uint64) bool {
+	n := pr.nodes[m.P.ID]
+	block := m.Cache.BlockOf(addr)
+	if m.Cache.Lookup(block) == memsim.Invalid {
+		if Debug {
+			trace("watch-refused node=%d block=%#x clock=%d", m.P.ID, block, m.P.Clock())
+		}
+		return false
+	}
+	n.watchers[block] = append(n.watchers[block], m.P)
+	return true
+}
+
+// wakeWatchers releases every processor watching block on node id.
+func (pr *Protocol) wakeWatchers(id int, block uint64, at sim.Time) {
+	n := pr.nodes[id]
+	ws := n.watchers[block]
+	if len(ws) == 0 {
+		return
+	}
+	delete(n.watchers, block)
+	for _, p := range ws {
+		if Debug {
+			trace("wakeWatcher node=%d block=%#x at=%d", id, block, at)
+		}
+		p.Wake(at, nil)
+	}
+}
+
+// AtomicSwapI performs the machine's atomic swap instruction on an IVec
+// element: it obtains exclusive ownership (stalling like a write) and
+// exchanges the value.
+func (pr *Protocol) AtomicSwapI(m *memsim.Mem, vec *memsim.IVec, i int, newV int64) int64 {
+	m.Write(vec.Addr(i))
+	old := vec.V[i]
+	vec.V[i] = newV
+	return old
+}
+
+// AtomicCASI is a compare-and-swap on an IVec element. The paper's machine
+// provides only atomic swap; MCS release uses compare-and-swap in the
+// original algorithm, and we model it with the same write-ownership cost as
+// swap (see parmacs for discussion).
+func (pr *Protocol) AtomicCASI(m *memsim.Mem, vec *memsim.IVec, i int, old, newV int64) bool {
+	m.Write(vec.Addr(i))
+	if vec.V[i] != old {
+		return false
+	}
+	vec.V[i] = newV
+	return true
+}
+
+// SpinI reads vec[i] through the cache until cond holds, sleeping on
+// invalidation between polls; the wait is charged to cat. Returns the value
+// that satisfied cond.
+func (pr *Protocol) SpinI(m *memsim.Mem, vec *memsim.IVec, i int, cat stats.Category, cond func(int64) bool) int64 {
+	p := m.P
+	p.Interact()
+	for {
+		m.Read(vec.Addr(i))
+		if v := vec.V[i]; cond(v) {
+			return v
+		}
+		// Sleep only while holding a valid copy; if an invalidation raced
+		// in before we could arm the watch, re-read immediately.
+		if pr.Watch(m, vec.Addr(i)) {
+			p.Block(cat, "spin")
+		}
+	}
+}
+
+// SpinF is SpinI for float vectors.
+func (pr *Protocol) SpinF(m *memsim.Mem, vec *memsim.FVec, i int, cat stats.Category, cond func(float64) bool) float64 {
+	p := m.P
+	p.Interact()
+	for {
+		m.Read(vec.Addr(i))
+		if v := vec.V[i]; cond(v) {
+			return v
+		}
+		if pr.Watch(m, vec.Addr(i)) {
+			p.Block(cat, "spin")
+		}
+	}
+}
+
+// DirStateOf reports the directory state of the block containing addr, for
+// tests: "idle", "shared", or "excl", plus the sharer count.
+func (pr *Protocol) DirStateOf(addr uint64) (string, int) {
+	bs := pr.nodes[0].mem.Cache.BlockShift()
+	block := addr >> bs
+	home := pr.homeOf(block)
+	e := pr.nodes[home].dir[block]
+	if e == nil {
+		return "idle", 0
+	}
+	switch e.state {
+	case dirIdle:
+		return "idle", 0
+	case dirShared:
+		return "shared", e.sharers.count()
+	case dirExcl:
+		return "excl", 1
+	}
+	return fmt.Sprintf("state(%d)", e.state), 0
+}
+
+// Debug enables protocol event tracing to stdout (tests only).
+var Debug bool
+
+func trace(format string, args ...any) {
+	if Debug {
+		fmt.Printf("coh: "+format+"\n", args...)
+	}
+}

@@ -1,0 +1,106 @@
+// Package core is the study's public facade: a registry of every
+// experiment in Chandra, Larus & Rogers, "Where is Time Spent in
+// Message-Passing and Shared-Memory Programs?" (ASPLOS 1994), mapped to the
+// modules that implement it and the runner that regenerates its tables.
+//
+// The paper's primary contribution is a methodology — two closely related
+// machine simulators over a common hardware base, plus a precise
+// time-accounting taxonomy — and its results. This package exposes that
+// methodology:
+//
+//   - machine.NewMP / machine.NewSM build the two machines (the paper §3-4).
+//   - stats.Category / stats.Count are the accounting taxonomy (§5 tables).
+//   - Experiments() enumerates every published table with its runner.
+//
+// See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+// measured-vs-paper comparison.
+package core
+
+import "repro/internal/tables"
+
+// Experiment describes one of the paper's measurement campaigns.
+type Experiment struct {
+	// ID is a short slug (e.g. "mse", "gauss-ablation").
+	ID string
+	// Tables lists the paper tables the experiment regenerates.
+	Tables []int
+	// Description summarizes workload and parameters at paper scale.
+	Description string
+	// Modules names the internal packages exercised.
+	Modules []string
+	// Bench is the testing.B benchmark that regenerates it.
+	Bench string
+	// Run regenerates the experiment's tables at the given scale.
+	Run func(tables.Scale) []tables.Table
+}
+
+// Experiments returns the complete registry, in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{
+			ID:     "mse",
+			Tables: []int{4, 5, 6, 7},
+			Description: "Microstructure Electrostatics: 256 bodies x 20 boundary " +
+				"elements, 20 asynchronous Jacobi iterations, distance-based " +
+				"update schedule, 32 processors",
+			Modules: []string{"apps/mse", "cmmd", "am", "ni", "coherence", "parmacs"},
+			Bench:   "BenchmarkTable04_MSE_MP (through Table07)",
+			Run:     tables.MSE,
+		},
+		{
+			ID:     "gauss",
+			Tables: []int{8, 9, 10, 11},
+			Description: "Gaussian elimination with partial pivoting, 512 variables " +
+				"(single precision), software reductions/broadcasts over lop-sided " +
+				"trees, 32 processors",
+			Modules: []string{"apps/gauss", "cmmd", "parmacs", "coherence"},
+			Bench:   "BenchmarkTable08_Gauss_MP (through Table11)",
+			Run:     tables.Gauss,
+		},
+		{
+			ID:     "gauss-ablation",
+			Tables: nil, // §5.2 text: 119.3M / 40.9M / 30.1M cycles
+			Description: "Gauss-MP broadcast/reduction tuning: flat broadcast vs " +
+				"binary tree with CMMD-level messages vs lop-sided tree with " +
+				"active messages and channels",
+			Modules: []string{"apps/gauss", "cmmd"},
+			Bench:   "BenchmarkAblationGaussBroadcast",
+			Run: func(sc tables.Scale) []tables.Table {
+				return []tables.Table{tables.GaussAblation(sc)}
+			},
+		},
+		{
+			ID:     "em3d",
+			Tables: []int{12, 13, 14, 15, 16, 17},
+			Description: "EM3D electromagnetic wave propagation: 1000 E + 1000 H " +
+				"nodes per processor, degree 10, 20% remote edges to ring " +
+				"neighbors, 50 iterations; plus 1 MB cache and local-allocation " +
+				"ablations",
+			Modules: []string{"apps/em3d", "cmmd", "coherence", "parmacs", "memsim"},
+			Bench:   "BenchmarkTable12_EM3D_MP (through Table17)",
+			Run:     tables.EM3D,
+		},
+		{
+			ID:     "lcp",
+			Tables: []int{18, 19, 20, 21, 22, 23},
+			Description: "Linear complementarity via multi-sweep SOR: 4096 " +
+				"variables, 64 non-zeros per row, 5 sweeps per step; synchronous " +
+				"(butterfly channel exchange / local-copy publish) and " +
+				"asynchronous (star sends / direct global writes) variants",
+			Modules: []string{"apps/lcp", "cmmd", "coherence", "parmacs"},
+			Bench:   "BenchmarkTable18_LCP_MP (through Table23)",
+			Run:     tables.LCP,
+		},
+	}
+}
+
+// ByID returns the experiment with the given slug, or nil.
+func ByID(id string) *Experiment {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			e := e
+			return &e
+		}
+	}
+	return nil
+}

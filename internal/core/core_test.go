@@ -1,0 +1,79 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/tables"
+)
+
+func TestRegistryCoversAllPaperTables(t *testing.T) {
+	covered := map[int]bool{}
+	ids := map[string]bool{}
+	for _, e := range Experiments() {
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		ids[e.ID] = true
+		if e.Run == nil {
+			t.Errorf("%s: nil runner", e.ID)
+		}
+		if e.Description == "" || e.Bench == "" || len(e.Modules) == 0 {
+			t.Errorf("%s: incomplete metadata", e.ID)
+		}
+		for _, tb := range e.Tables {
+			if covered[tb] {
+				t.Errorf("table %d claimed twice", tb)
+			}
+			covered[tb] = true
+		}
+	}
+	for tb := 4; tb <= 23; tb++ {
+		if !covered[tb] {
+			t.Errorf("paper table %d not covered by any experiment", tb)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if ByID("em3d") == nil {
+		t.Error("em3d not found")
+	}
+	if ByID("nope") != nil {
+		t.Error("unknown id resolved")
+	}
+}
+
+func TestQuickExperimentProducesTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a reduced Gauss experiment")
+	}
+	e := ByID("gauss")
+	ts := e.Run(tables.Quick)
+	if len(ts) != 4 {
+		t.Fatalf("gauss produced %d tables, want 4", len(ts))
+	}
+	for _, want := range e.Tables {
+		tb := tables.Find(ts, want)
+		if tb == nil {
+			t.Fatalf("table %d missing", want)
+		}
+		if len(tb.Rows) == 0 {
+			t.Fatalf("table %d empty", want)
+		}
+		var buf bytes.Buffer
+		tb.Render(&buf)
+		if buf.Len() == 0 {
+			t.Fatalf("table %d rendered empty", want)
+		}
+	}
+	// Totals must equal the sum of visible top-level rows approximately:
+	// at minimum, every measured value is non-negative.
+	for _, tb := range ts {
+		for _, r := range tb.Rows {
+			if r.Measured < 0 {
+				t.Errorf("table %d row %q negative measured value", tb.ID, r.Label)
+			}
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package cost defines the hardware cost model shared by the simulated
+// message-passing and shared-memory machines.
+//
+// The values mirror Tables 1-3 of Chandra, Larus, and Rogers, "Where is Time
+// Spent in Message-Passing and Shared-Memory Programs?" (ASPLOS 1994). Both
+// machines are modeled after a Thinking Machines CM-5: workstation-like nodes
+// with a SPARC processor, a 256 KB 4-way set-associative cache, local DRAM,
+// and a point-to-point network with a constant 100-cycle latency and no
+// contention. All times are in processor cycles (the paper assumes a 30 ns
+// cycle).
+package cost
+
+import "fmt"
+
+// Config collects every hardware parameter of the simulated machines.
+// The zero value is not useful; start from Default.
+type Config struct {
+	// Procs is the number of processor nodes (the paper uses 32 for all
+	// experiments; 1-128 are supported).
+	Procs int
+
+	// --- Table 1: common hardware characteristics ---
+
+	CacheBytes int // cache capacity (256 KB)
+	CacheAssoc int // set associativity (4-way, random replacement)
+	BlockBytes int // cache block size (32 bytes)
+
+	TLBEntries int // fully associative, FIFO replacement (64)
+	PageBytes  int // page size (4 KB)
+
+	NetLatency     int64 // remote message latency (100 cycles)
+	BarrierLatency int64 // barrier cost from last arrival (100 cycles)
+
+	PrivateMissCycles int64 // private cache miss, excluding DRAM (11)
+	DRAMCycles        int64 // DRAM access (10)
+
+	// TLBMissCycles is the cost of a TLB refill. The paper reports TLB miss
+	// cycles (Table 14) but not the unit cost; 30 cycles reproduces EM3D's
+	// initialization TLB time.
+	TLBMissCycles int64
+
+	// --- Table 2: message-passing machine ---
+
+	MPReplacement  int64 // replacement cost with infinite write buffer (1)
+	NIStatusCycles int64 // network-interface status word access (5)
+	NIWriteTagDest int64 // write tag + destination (5)
+	NISendCycles   int64 // send 5 words, including stores (15)
+	NIRecvCycles   int64 // receive 5 words, including loads (15)
+
+	PacketBytes   int // wire size of one packet (20, as on the CM-5)
+	PacketPayload int // payload bytes after the tag/header word (16)
+
+	// Software overheads of the communication stack. These are calibration
+	// constants, not Table 2 values: the paper runs the real CMAML/CMMD
+	// binaries and observes their cost ("the high latency of sending and
+	// receiving a message"; LogP's premise that send/receive overhead
+	// exceeds the 100-cycle network latency). Defaults reproduce the
+	// paper's library-time fractions.
+
+	AMSendCycles     int64 // CMAML software overhead composing a request, beyond NI stores
+	AMDispatchCycles int64 // CMAML poll-and-dispatch overhead invoking a handler
+	CMMDCallCycles   int64 // CMMD high-level send/recv entry: channel setup, bookkeeping
+	CMMDPerPacket    int64 // CMMD per-packet software cost while streaming a channel
+	CollectiveEntry  int64 // software entry cost of a reduction/broadcast call
+
+	// --- Table 3: shared-memory machine ---
+
+	MsgToSelf         int64 // message to own node (10)
+	SharedMissCycles  int64 // shared cache miss, processor side (19)
+	InvalidateCycles  int64 // cache invalidate at a sharer (3)
+	ReplPrivate       int64 // replacement: private block (1)
+	ReplSharedClean   int64 // replacement: shared, clean (5)
+	ReplSharedDirty   int64 // replacement: shared, dirty (13)
+	DirBase           int64 // directory occupancy per request (10)
+	DirBlockRecv      int64 // + if a cache block is received (8)
+	DirMsgSend        int64 // + if a message is sent (5)
+	DirBlockSend      int64 // + if a cache block is sent (8)
+	SMMsgBytes        int   // shared-memory message size (40: block + control)
+	SMMsgControlBytes int   // control portion of a block-carrying message (8)
+}
+
+// Default returns the paper's machine configuration (Tables 1-3) for the
+// given number of processors.
+func Default(procs int) Config {
+	return Config{
+		Procs: procs,
+
+		CacheBytes: 256 << 10,
+		CacheAssoc: 4,
+		BlockBytes: 32,
+
+		TLBEntries: 64,
+		PageBytes:  4 << 10,
+
+		NetLatency:     100,
+		BarrierLatency: 100,
+
+		PrivateMissCycles: 11,
+		DRAMCycles:        10,
+		TLBMissCycles:     30,
+
+		MPReplacement:  1,
+		NIStatusCycles: 5,
+		NIWriteTagDest: 5,
+		NISendCycles:   15,
+		NIRecvCycles:   15,
+
+		PacketBytes:   20,
+		PacketPayload: 16,
+
+		AMSendCycles:     45,
+		AMDispatchCycles: 45,
+		CMMDCallCycles:   250,
+		CMMDPerPacket:    42,
+		CollectiveEntry:  80,
+
+		MsgToSelf:         10,
+		SharedMissCycles:  19,
+		InvalidateCycles:  3,
+		ReplPrivate:       1,
+		ReplSharedClean:   5,
+		ReplSharedDirty:   13,
+		DirBase:           10,
+		DirBlockRecv:      8,
+		DirMsgSend:        5,
+		DirBlockSend:      8,
+		SMMsgBytes:        40,
+		SMMsgControlBytes: 8,
+	}
+}
+
+// Sets returns the number of cache sets implied by the configuration.
+func (c *Config) Sets() int { return c.CacheBytes / (c.BlockBytes * c.CacheAssoc) }
+
+// PrivateMissTotal is the full cost of a private-data cache miss: the miss
+// handling plus the DRAM access (Table 1 footnote: the 11 cycles exclude
+// DRAM).
+func (c *Config) PrivateMissTotal() int64 { return c.PrivateMissCycles + c.DRAMCycles }
+
+// Validate reports whether the configuration is internally consistent.
+func (c *Config) Validate() error {
+	switch {
+	case c.Procs < 1 || c.Procs > 1024:
+		return errf("procs %d out of range [1,1024]", c.Procs)
+	case c.BlockBytes <= 0 || c.BlockBytes&(c.BlockBytes-1) != 0:
+		return errf("block size %d must be a positive power of two", c.BlockBytes)
+	case c.CacheBytes%(c.BlockBytes*c.CacheAssoc) != 0:
+		return errf("cache size %d not divisible by block*assoc", c.CacheBytes)
+	case c.PageBytes <= 0 || c.PageBytes&(c.PageBytes-1) != 0:
+		return errf("page size %d must be a positive power of two", c.PageBytes)
+	case c.PacketPayload >= c.PacketBytes:
+		return errf("packet payload %d must leave room for the header in %d",
+			c.PacketPayload, c.PacketBytes)
+	case c.NetLatency <= 0:
+		return errf("network latency must be positive")
+	}
+	return nil
+}
+
+func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }

@@ -1,0 +1,228 @@
+// Package machine assembles the two simulated computers the paper compares:
+// a message-passing machine (CM-5-like network interface + active messages +
+// CMMD library) and a cache-coherent shared-memory machine (Dir_nNB
+// directories + parmacs primitives). Both share the engine, cost model,
+// cache, TLB, and hardware barrier — the "common hardware base" of paper
+// Table 1.
+package machine
+
+import (
+	"repro/internal/am"
+	"repro/internal/cmmd"
+	"repro/internal/coherence"
+	"repro/internal/cost"
+	"repro/internal/memsim"
+	"repro/internal/ni"
+	"repro/internal/parmacs"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Result is the outcome of a simulated run.
+type Result struct {
+	// Summary holds per-processor-average cycles and event counts per
+	// phase, the form the paper's tables report.
+	Summary *stats.Summary
+	// Elapsed is the longest processor virtual time (total run length).
+	Elapsed sim.Time
+	// Accts exposes the raw per-processor accounting.
+	Accts []*stats.Acct
+}
+
+func seedFor(i int) uint64 { return 0xC0FFEE + uint64(i)*0x9E3779B97F4A7C15 }
+
+// --- Message-passing machine ---
+
+// MPNode is one node of the message-passing machine, handed to the target
+// program. Programs compute with Compute, allocate private data with
+// AllocF/AllocI, and communicate through AM (CMAML), EP (CMMD), and Comm
+// (software collectives).
+type MPNode struct {
+	ID    int
+	P     *sim.Proc
+	Mem   *memsim.Mem
+	NI    *ni.NI
+	AM    *am.AM
+	EP    *cmmd.Endpoint
+	Comm  *cmmd.Comm
+	Cfg   *cost.Config
+	Space *memsim.AddrSpace
+	Procs int
+}
+
+// Compute charges c cycles of application computation.
+func (n *MPNode) Compute(c int64) { n.P.Compute(c) }
+
+// Phase switches the accounting phase (e.g. initialization vs. main loop).
+func (n *MPNode) Phase(ph stats.Phase) { n.P.Acct.SetPhase(ph) }
+
+// AllocF allocates a private double-precision vector in this node's local
+// memory.
+func (n *MPNode) AllocF(elems int) memsim.FVec {
+	return memsim.NewFVec(n.Space.AllocPrivate(n.ID, elems*memsim.WordBytes), elems)
+}
+
+// AllocFSized allocates a private float vector with explicit element size
+// (4 for single precision, as Gauss uses).
+func (n *MPNode) AllocFSized(elems, elemBytes int) memsim.FVec {
+	return memsim.NewFVecSized(n.Space.AllocPrivate(n.ID, elems*elemBytes), elems, elemBytes)
+}
+
+// AllocI allocates a private int vector in this node's local memory.
+func (n *MPNode) AllocI(elems int) memsim.IVec {
+	return memsim.NewIVec(n.Space.AllocPrivate(n.ID, elems*memsim.WordBytes), elems)
+}
+
+// Barrier enters the hardware barrier.
+func (n *MPNode) Barrier() { n.EP.Barrier() }
+
+// MPMachine is a configured message-passing machine, exposing internals for
+// tests and reports.
+type MPMachine struct {
+	Eng   *sim.Engine
+	Net   *ni.Network
+	Nodes []*MPNode
+}
+
+// NewMP builds a message-passing machine with the given collective tree
+// shape; program runs on every node.
+func NewMP(cfg cost.Config, shape cmmd.Shape, program func(n *MPNode)) *MPMachine {
+	if err := cfg.Validate(); err != nil {
+		panic("machine: " + err.Error())
+	}
+	c := cfg // one copy shared by all nodes
+	eng := sim.NewEngine(c.NetLatency)
+	net := ni.NewNetwork(eng, &c)
+	bar := sim.NewBarrier(eng, c.Procs, c.BarrierLatency)
+	space := memsim.NewAddrSpace(c.Procs, c.BlockBytes)
+
+	m := &MPMachine{Eng: eng, Net: net}
+	m.Nodes = make([]*MPNode, c.Procs)
+	for i := 0; i < c.Procs; i++ {
+		i := i
+		p := eng.AddProc(func(*sim.Proc) { program(m.Nodes[i]) })
+		mem := memsim.NewMem(p, &c, seedFor(i))
+		nif := net.Attach(p)
+		a := am.New(nif)
+		ep := cmmd.NewEndpoint(i, c.Procs, a, mem, bar)
+		comm := cmmd.NewComm(ep, shape)
+		m.Nodes[i] = &MPNode{
+			ID: i, P: p, Mem: mem, NI: nif, AM: a, EP: ep, Comm: comm,
+			Cfg: &c, Space: space, Procs: c.Procs,
+		}
+	}
+	return m
+}
+
+// Run executes the machine to completion and summarizes.
+func (m *MPMachine) Run() *Result {
+	m.Eng.Run()
+	return summarize(m.Eng)
+}
+
+// RunMP builds and runs a message-passing machine in one step.
+func RunMP(cfg cost.Config, shape cmmd.Shape, program func(n *MPNode)) *Result {
+	return NewMP(cfg, shape, program).Run()
+}
+
+// --- Shared-memory machine ---
+
+// SMNode is one node of the shared-memory machine. Programs allocate shared
+// data through RT (gmalloc), private data with AllocF/AllocI, and
+// synchronize with RT's locks, reductions, and barrier.
+type SMNode struct {
+	ID    int
+	P     *sim.Proc
+	Mem   *memsim.Mem
+	Pr    *coherence.Protocol
+	RT    *parmacs.Runtime
+	Cfg   *cost.Config
+	Space *memsim.AddrSpace
+	Procs int
+}
+
+// Compute charges c cycles of application computation.
+func (n *SMNode) Compute(c int64) { n.P.Compute(c) }
+
+// Phase switches the accounting phase.
+func (n *SMNode) Phase(ph stats.Phase) { n.P.Acct.SetPhase(ph) }
+
+// AllocF allocates a private double-precision vector in this node's local
+// memory.
+func (n *SMNode) AllocF(elems int) memsim.FVec {
+	return memsim.NewFVec(n.Space.AllocPrivate(n.ID, elems*memsim.WordBytes), elems)
+}
+
+// AllocFSized allocates a private float vector with explicit element size.
+func (n *SMNode) AllocFSized(elems, elemBytes int) memsim.FVec {
+	return memsim.NewFVecSized(n.Space.AllocPrivate(n.ID, elems*elemBytes), elems, elemBytes)
+}
+
+// AllocI allocates a private int vector in this node's local memory.
+func (n *SMNode) AllocI(elems int) memsim.IVec {
+	return memsim.NewIVec(n.Space.AllocPrivate(n.ID, elems*memsim.WordBytes), elems)
+}
+
+// Barrier enters the hardware barrier.
+func (n *SMNode) Barrier() { n.RT.Barrier(n.P) }
+
+// SMMachine is a configured shared-memory machine.
+type SMMachine struct {
+	Eng   *sim.Engine
+	Pr    *coherence.Protocol
+	RT    *parmacs.Runtime
+	Nodes []*SMNode
+}
+
+// NewSM builds a shared-memory machine with the given allocation policy;
+// program runs on every node.
+func NewSM(cfg cost.Config, policy parmacs.Policy, program func(n *SMNode)) *SMMachine {
+	if err := cfg.Validate(); err != nil {
+		panic("machine: " + err.Error())
+	}
+	c := cfg
+	eng := sim.NewEngine(c.NetLatency)
+	bar := sim.NewBarrier(eng, c.Procs, c.BarrierLatency)
+	space := memsim.NewAddrSpace(c.Procs, c.BlockBytes)
+	pr := coherence.New(eng, &c)
+	rt := parmacs.NewRuntime(&c, pr, space, bar)
+	rt.Policy = policy
+
+	m := &SMMachine{Eng: eng, Pr: pr, RT: rt}
+	m.Nodes = make([]*SMNode, c.Procs)
+	for i := 0; i < c.Procs; i++ {
+		i := i
+		p := eng.AddProc(func(*sim.Proc) { program(m.Nodes[i]) })
+		mem := memsim.NewMem(p, &c, seedFor(i))
+		pr.AttachMem(i, mem)
+		m.Nodes[i] = &SMNode{
+			ID: i, P: p, Mem: mem, Pr: pr, RT: rt,
+			Cfg: &c, Space: space, Procs: c.Procs,
+		}
+	}
+	return m
+}
+
+// Run executes the machine to completion and summarizes.
+func (m *SMMachine) Run() *Result {
+	m.Eng.Run()
+	return summarize(m.Eng)
+}
+
+// RunSM builds and runs a shared-memory machine in one step.
+func RunSM(cfg cost.Config, policy parmacs.Policy, program func(n *SMNode)) *Result {
+	return NewSM(cfg, policy, program).Run()
+}
+
+func summarize(eng *sim.Engine) *Result {
+	procs := eng.Procs()
+	accts := make([]*stats.Acct, len(procs))
+	var maxClock sim.Time
+	for i, p := range procs {
+		accts[i] = p.Acct
+		if p.Clock() > maxClock {
+			maxClock = p.Clock()
+		}
+	}
+	return &Result{Summary: stats.Summarize(accts), Elapsed: maxClock, Accts: accts}
+}

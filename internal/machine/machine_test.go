@@ -1,0 +1,78 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/cmmd"
+	"repro/internal/cost"
+	"repro/internal/parmacs"
+	"repro/internal/stats"
+)
+
+func TestRunMPBasics(t *testing.T) {
+	res := RunMP(cost.Default(4), cmmd.Binary, func(n *MPNode) {
+		n.Compute(int64(100 * (n.ID + 1)))
+		n.Barrier()
+	})
+	if res.Elapsed < 400 {
+		t.Errorf("elapsed = %d, want at least the slowest node's 400", res.Elapsed)
+	}
+	if got := res.Summary.CyclesAll(stats.Comp); got != 250 {
+		t.Errorf("avg computation = %v, want 250", got)
+	}
+	if len(res.Accts) != 4 {
+		t.Errorf("accts = %d", len(res.Accts))
+	}
+}
+
+func TestRunSMBasics(t *testing.T) {
+	res := RunSM(cost.Default(4), parmacs.RoundRobin, func(n *SMNode) {
+		v := n.AllocF(8)
+		v.Set(n.Mem, 0, 1.5)
+		if got := v.Get(n.Mem, 0); got != 1.5 {
+			t.Errorf("private round trip: %v", got)
+		}
+		n.Barrier()
+	})
+	if res.Summary.CountsAll(stats.CntLocalMisses) == 0 {
+		t.Error("no private misses recorded")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cfg := cost.Default(4)
+	cfg.BlockBytes = 24
+	NewMP(cfg, cmmd.Binary, func(*MPNode) {})
+}
+
+func TestAllocationsAreDistinct(t *testing.T) {
+	RunMP(cost.Default(2), cmmd.Binary, func(n *MPNode) {
+		a := n.AllocF(10)
+		b := n.AllocI(10)
+		c := n.AllocFSized(10, 4)
+		if a.Addr(9) >= b.Addr(0) || b.Addr(9) >= c.Addr(0) {
+			t.Error("allocations overlap")
+		}
+		n.Barrier()
+	})
+}
+
+func TestPhaseBucketsSeparate(t *testing.T) {
+	res := RunMP(cost.Default(2), cmmd.Binary, func(n *MPNode) {
+		n.Compute(10)
+		n.Phase(1)
+		n.Compute(25)
+		n.Barrier()
+	})
+	if got := res.Summary.Cycles(0, stats.Comp); got != 10 {
+		t.Errorf("phase 0 = %v", got)
+	}
+	if got := res.Summary.Cycles(1, stats.Comp); got != 25 {
+		t.Errorf("phase 1 = %v", got)
+	}
+}

@@ -1,0 +1,161 @@
+package memsim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Cache line states. The message-passing machine uses Invalid / Modified
+// semantics (every cached block is local and writable); the shared-memory
+// coherence protocol additionally uses Shared for read-only copies.
+const (
+	Invalid  uint8 = iota
+	Shared         // valid, read-only (clean)
+	Modified       // valid, writable (dirty)
+)
+
+// Line is one cache line's tag state. Tag stores the full block number
+// (address >> block shift), so aliasing is impossible.
+type Line struct {
+	Tag   uint64
+	State uint8
+}
+
+// Cache is an n-way set-associative cache with random replacement (Table 1:
+// 256 KB, 4-way, 32-byte blocks, random replacement). Victim selection draws
+// from a deterministic per-cache RNG.
+type Cache struct {
+	assoc      int
+	sets       int
+	blockShift uint
+	setMask    uint64
+	lines      []Line
+	rng        *sim.RNG
+
+	// SharedDirtyIsShared: under the coherence protocol, blocks in the
+	// shared segment track Shared/Modified precisely; the MP machine marks
+	// everything Modified on write.
+}
+
+// NewCache constructs a cache with the given geometry.
+func NewCache(capacityBytes, assoc, blockBytes int, rng *sim.RNG) *Cache {
+	if capacityBytes%(assoc*blockBytes) != 0 {
+		panic("memsim: cache capacity not divisible by assoc*block")
+	}
+	sets := capacityBytes / (assoc * blockBytes)
+	if sets&(sets-1) != 0 {
+		panic("memsim: number of sets must be a power of two")
+	}
+	bs := uint(0)
+	for 1<<bs < blockBytes {
+		bs++
+	}
+	return &Cache{
+		assoc:      assoc,
+		sets:       sets,
+		blockShift: bs,
+		setMask:    uint64(sets - 1),
+		lines:      make([]Line, sets*assoc),
+		rng:        rng,
+	}
+}
+
+// BlockShift returns log2(block size).
+func (c *Cache) BlockShift() uint { return c.blockShift }
+
+// BlockOf returns the block number containing addr.
+func (c *Cache) BlockOf(addr uint64) uint64 { return addr >> c.blockShift }
+
+func (c *Cache) set(block uint64) []Line {
+	s := int(block & c.setMask)
+	return c.lines[s*c.assoc : (s+1)*c.assoc]
+}
+
+// Lookup returns the state of block in the cache (Invalid if absent).
+func (c *Cache) Lookup(block uint64) uint8 {
+	for _, l := range c.set(block) {
+		if l.State != Invalid && l.Tag == block {
+			return l.State
+		}
+	}
+	return Invalid
+}
+
+// SetState changes the state of a resident block; it panics if the block is
+// not resident (protocol bugs should fail loudly).
+func (c *Cache) SetState(block uint64, state uint8) {
+	ws := c.set(block)
+	for i := range ws {
+		if ws[i].State != Invalid && ws[i].Tag == block {
+			if state == Invalid {
+				ws[i] = Line{}
+			} else {
+				ws[i].State = state
+			}
+			return
+		}
+	}
+	panic(fmt.Sprintf("memsim: SetState on non-resident block %#x", block))
+}
+
+// Invalidate removes block if resident, returning its previous state
+// (Invalid if it was not resident — silent S-replacements make directories
+// send invalidations for blocks a cache has already dropped).
+func (c *Cache) Invalidate(block uint64) uint8 {
+	ws := c.set(block)
+	for i := range ws {
+		if ws[i].State != Invalid && ws[i].Tag == block {
+			st := ws[i].State
+			ws[i] = Line{}
+			return st
+		}
+	}
+	return Invalid
+}
+
+// Insert places block with the given state, choosing a victim at random if
+// the set is full. It returns the evicted line (State Invalid if an empty
+// way was used). Inserting a block that is already resident panics.
+func (c *Cache) Insert(block uint64, state uint8) Line {
+	ws := c.set(block)
+	for i := range ws {
+		if ws[i].State != Invalid && ws[i].Tag == block {
+			panic(fmt.Sprintf("memsim: Insert of resident block %#x", block))
+		}
+	}
+	for i := range ws {
+		if ws[i].State == Invalid {
+			ws[i] = Line{Tag: block, State: state}
+			return Line{}
+		}
+	}
+	v := c.rng.Intn(c.assoc)
+	victim := ws[v]
+	ws[v] = Line{Tag: block, State: state}
+	return victim
+}
+
+// Resident reports how many lines are valid (for tests).
+func (c *Cache) Resident() int {
+	n := 0
+	for _, l := range c.lines {
+		if l.State != Invalid {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush invalidates the entire cache, returning the dirty lines that would
+// require writeback.
+func (c *Cache) Flush() []Line {
+	var dirty []Line
+	for i := range c.lines {
+		if c.lines[i].State == Modified {
+			dirty = append(dirty, c.lines[i])
+		}
+		c.lines[i] = Line{}
+	}
+	return dirty
+}

@@ -1,0 +1,181 @@
+package memsim
+
+import (
+	"repro/internal/cost"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// SharedHandler is implemented by the shared-memory machine's coherence
+// layer. Mem routes every access to a shared-segment address that cannot be
+// satisfied by the local cache through this interface. Handlers manipulate
+// the cache themselves (insertion, state changes, victim handling) and
+// charge/stall the processor per the protocol.
+type SharedHandler interface {
+	// ReadMiss obtains a readable copy of block for m's processor.
+	ReadMiss(m *Mem, block uint64)
+	// WriteAccess obtains a writable copy. resident is the block's current
+	// local state: Shared means an upgrade (a write fault in the paper's
+	// terms), Invalid a full write miss.
+	WriteAccess(m *Mem, block uint64, resident uint8)
+	// Evict performs replacement bookkeeping when a shared block is chosen
+	// as a victim (writeback of dirty data, replacement cost). The
+	// replacement cycles are charged to cat, the category of the miss that
+	// forced the eviction.
+	Evict(m *Mem, victim Line, cat stats.Category)
+	// Flush performs an explicit software flush of a shared line: unlike a
+	// silent capacity eviction, it sends the directory a replacement hint
+	// so the line leaves the copyset (the paper's §5.3.4 optimization —
+	// one message instead of a later invalidation round trip).
+	Flush(m *Mem, victim Line, cat stats.Category)
+}
+
+// Mem is one processor's memory-system front end: TLB + cache + (on the
+// shared-memory machine) the coherence handler. Cache hits are free —
+// instruction time lives in the applications' calibrated computation
+// constants — so only misses, write faults, and TLB refills charge cycles,
+// mirroring the paper's accounting.
+type Mem struct {
+	P      *sim.Proc
+	Cfg    *cost.Config
+	Cache  *Cache
+	TLB    *TLB
+	Shared SharedHandler // nil on the message-passing machine
+
+	// Refs counts simulated references (reads+writes), for tests.
+	Refs int64
+}
+
+// NewMem builds the memory system for proc p. rngSeed feeds the cache's
+// random-replacement generator.
+func NewMem(p *sim.Proc, cfg *cost.Config, rngSeed uint64) *Mem {
+	return &Mem{
+		P:     p,
+		Cfg:   cfg,
+		Cache: NewCache(cfg.CacheBytes, cfg.CacheAssoc, cfg.BlockBytes, sim.NewRNG(rngSeed)),
+		TLB:   NewTLB(cfg.TLBEntries, cfg.PageBytes),
+	}
+}
+
+func (m *Mem) translate(addr uint64) {
+	if !m.TLB.Access(addr) {
+		m.P.ChargeStall(stats.TLBMiss, m.Cfg.TLBMissCycles)
+		m.P.Acct.Add(stats.CntTLBMisses, 1)
+	}
+}
+
+// Read simulates a load from addr.
+func (m *Mem) Read(addr uint64) { m.ReadTrack(addr) }
+
+// ReadTrack simulates a load and reports whether it missed in the cache —
+// staleness-aware data structures use this to refresh their block snapshot
+// exactly when real hardware would observe new values.
+func (m *Mem) ReadTrack(addr uint64) bool {
+	m.P.Interact()
+	m.Refs++
+	m.translate(addr)
+	block := m.Cache.BlockOf(addr)
+	if m.Cache.Lookup(block) != Invalid {
+		return false // hit
+	}
+	if m.Shared != nil && IsShared(addr) {
+		m.Shared.ReadMiss(m, block)
+		return true
+	}
+	m.privateMiss(block)
+	return true
+}
+
+// Write simulates a store to addr. A store to shared data retires only
+// while the line is held Modified: if ownership is stolen (a downgrade or
+// invalidation racing in) between the grant and the processor resuming, the
+// store re-acquires ownership — the retry sequentially consistent hardware
+// performs.
+func (m *Mem) Write(addr uint64) {
+	m.P.Interact()
+	m.Refs++
+	m.translate(addr)
+	block := m.Cache.BlockOf(addr)
+	for {
+		st := m.Cache.Lookup(block)
+		if st == Modified {
+			return // write permission held; the store retires
+		}
+		if m.Shared != nil && IsShared(addr) {
+			m.Shared.WriteAccess(m, block, st)
+			continue // verify ownership survived until retirement
+		}
+		m.privateMiss(block)
+		return
+	}
+}
+
+// privateMiss services a miss to private/local data: Table 1's 11 cycles +
+// DRAM + replacement cost if a block is replaced. Private lines are
+// inserted Modified (writable; dirtiness does not change private
+// replacement cost on either machine).
+func (m *Mem) privateMiss(block uint64) {
+	cat, cnt := m.P.MissCategory()
+	cost := m.Cfg.PrivateMissCycles + m.Cfg.DRAMCycles
+	victim := m.Cache.Insert(block, Modified)
+	if victim.State != Invalid {
+		if m.Shared != nil && IsShared(victim.Tag<<m.Cache.BlockShift()) {
+			m.Shared.Evict(m, victim, cat)
+		} else {
+			cost += m.privReplCost()
+		}
+	}
+	m.P.ChargeStall(cat, cost)
+	m.P.Acct.Add(cnt, 1)
+}
+
+func (m *Mem) privReplCost() int64 {
+	if m.Shared != nil {
+		return m.Cfg.ReplPrivate
+	}
+	return m.Cfg.MPReplacement
+}
+
+// ReadRange simulates streaming loads over [addr, addr+bytes). One access
+// per cache block is simulated — exact for timing, since within-block hits
+// are free.
+func (m *Mem) ReadRange(addr uint64, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	bs := uint64(m.Cfg.BlockBytes)
+	end := addr + uint64(bytes)
+	for a := addr &^ (bs - 1); a < end; a += bs {
+		m.Read(a)
+	}
+}
+
+// WriteRange simulates streaming stores over [addr, addr+bytes).
+func (m *Mem) WriteRange(addr uint64, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	bs := uint64(m.Cfg.BlockBytes)
+	end := addr + uint64(bytes)
+	for a := addr &^ (bs - 1); a < end; a += bs {
+		m.Write(a)
+	}
+}
+
+// FlushBlock removes a block containing addr from the cache (the software
+// flush optimization discussed in the paper's EM3D section). Dirty shared
+// victims write back through the coherence handler.
+func (m *Mem) FlushBlock(addr uint64) {
+	m.P.Interact()
+	block := m.Cache.BlockOf(addr)
+	st := m.Cache.Lookup(block)
+	if st == Invalid {
+		return
+	}
+	line := Line{Tag: block, State: st}
+	m.Cache.Invalidate(block)
+	if m.Shared != nil && IsShared(addr) {
+		cat, _ := m.P.MissCategory()
+		m.Shared.Flush(m, line, cat)
+	}
+}

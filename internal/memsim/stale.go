@@ -1,0 +1,74 @@
+package memsim
+
+// StaleVec gives a shared float vector hardware-faithful value semantics:
+// each processor's reads return the values its cache actually holds — the
+// snapshot taken when the block was last fetched — rather than the globally
+// freshest backing values. New values become visible only through the
+// coherence protocol: the producer's write invalidates the consumer's
+// cached block, the consumer's next read misses, and the refetch refreshes
+// the snapshot.
+//
+// This matters for algorithms whose *behavior* depends on value freshness.
+// The paper's asynchronous LCP (ALCP) converges in fewer steps than the
+// synchronous version precisely because values propagate mid-step — but
+// only as fast as invalidations and refetches allow. Simulating with
+// perfectly fresh values would overstate that advantage enormously.
+type StaleVec struct {
+	// G is the underlying shared vector (the authoritative backing).
+	G *FVec
+	// snap[p] is processor p's view: refreshed block-by-block on misses.
+	snap [][]float64
+}
+
+// NewStaleVec wraps a shared vector for procs processors. Initial snapshots
+// equal the backing's current contents.
+func NewStaleVec(g *FVec, procs int) *StaleVec {
+	s := &StaleVec{G: g, snap: make([][]float64, procs)}
+	for p := range s.snap {
+		s.snap[p] = append([]float64(nil), g.V...)
+	}
+	return s
+}
+
+// elemsPerBlock returns how many elements share a cache block.
+func (s *StaleVec) elemsPerBlock(m *Mem) int {
+	n := m.Cfg.BlockBytes / s.G.ElemBytes
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// refreshBlock copies the backing values of the block containing element i
+// into processor p's snapshot (the cache fill's data payload).
+func (s *StaleVec) refreshBlock(m *Mem, i int) {
+	per := s.elemsPerBlock(m)
+	lo := (i / per) * per
+	hi := lo + per
+	if hi > len(s.G.V) {
+		hi = len(s.G.V)
+	}
+	copy(s.snap[m.P.ID][lo:hi], s.G.V[lo:hi])
+}
+
+// Get simulates a load of element i and returns the value the processor's
+// cache holds (refreshed if the load missed).
+func (s *StaleVec) Get(m *Mem, i int) float64 {
+	if m.ReadTrack(s.G.Addr(i)) {
+		s.refreshBlock(m, i)
+	}
+	return s.snap[m.P.ID][i]
+}
+
+// Set simulates a store of element i: the write goes to the backing (other
+// processors observe it at their next miss) and to the writer's own view.
+func (s *StaleVec) Set(m *Mem, i int, x float64) {
+	m.Write(s.G.Addr(i))
+	s.G.V[i] = x
+	s.snap[m.P.ID][i] = x
+	// Ownership means our snapshot of this block is current.
+	s.refreshBlock(m, i)
+}
+
+// Local returns processor p's current view (for norms over owned segments).
+func (s *StaleVec) Local(p int) []float64 { return s.snap[p] }

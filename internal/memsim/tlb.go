@@ -1,0 +1,76 @@
+package memsim
+
+// TLB models the 64-entry fully associative TLB with FIFO replacement and
+// 4 KB pages (Table 1). A one-entry MRU filter makes the common sequential
+// case cheap to simulate.
+type TLB struct {
+	capacity  int
+	pageShift uint
+	present   map[uint64]struct{}
+	fifo      []uint64
+	head      int
+	// Small MRU filter: simulated code commonly alternates between a few
+	// streams (metadata, values, a buffer), so a handful of recent pages
+	// short-circuits most map lookups.
+	mru    [4]uint64
+	mruOK  [4]bool
+	misses int64
+}
+
+// NewTLB constructs a TLB with the given entry count and page size.
+func NewTLB(entries, pageBytes int) *TLB {
+	ps := uint(0)
+	for 1<<ps < pageBytes {
+		ps++
+	}
+	return &TLB{
+		capacity:  entries,
+		pageShift: ps,
+		present:   make(map[uint64]struct{}, entries*2),
+		fifo:      make([]uint64, 0, entries),
+	}
+}
+
+// Access translates addr, returning true on a hit. On a miss the page is
+// installed, evicting the oldest entry FIFO-style.
+func (t *TLB) Access(addr uint64) bool {
+	page := addr >> t.pageShift
+	for i := range t.mru {
+		if t.mruOK[i] && t.mru[i] == page {
+			return true
+		}
+	}
+	if _, ok := t.present[page]; ok {
+		t.noteMRU(page)
+		return true
+	}
+	t.misses++
+	if len(t.fifo) < t.capacity {
+		t.fifo = append(t.fifo, page)
+	} else {
+		evicted := t.fifo[t.head]
+		delete(t.present, evicted)
+		t.fifo[t.head] = page
+		t.head = (t.head + 1) % t.capacity
+		for i := range t.mru {
+			if t.mruOK[i] && t.mru[i] == evicted {
+				t.mruOK[i] = false
+			}
+		}
+	}
+	t.present[page] = struct{}{}
+	t.noteMRU(page)
+	return false
+}
+
+func (t *TLB) noteMRU(page uint64) {
+	copy(t.mru[1:], t.mru[:len(t.mru)-1])
+	copy(t.mruOK[1:], t.mruOK[:len(t.mruOK)-1])
+	t.mru[0], t.mruOK[0] = page, true
+}
+
+// Misses returns the cumulative miss count.
+func (t *TLB) Misses() int64 { return t.misses }
+
+// Entries returns the number of resident translations (for tests).
+func (t *TLB) Entries() int { return len(t.present) }

@@ -1,0 +1,171 @@
+// Package ni models the message-passing machine's memory-mapped network
+// interface, patterned on the CM-5 data network interface (paper §4.1,
+// Table 2): incoming and outgoing FIFOs for packets of up to 20 bytes
+// (a tag word plus 16 payload bytes), a status register indicating whether a
+// packet is queued, and explicit processor loads/stores to move data — there
+// is no DMA. Sends always succeed (the network is contention-free, as in the
+// paper), and delivery takes the constant network latency.
+package ni
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Packet is one 20-byte network packet: a tag/handler word plus four payload
+// words. DataBytes records how much of the payload is application data (the
+// rest is counted as control, as in the paper's bytes-transmitted split).
+type Packet struct {
+	Src, Dst int
+	Tag      int
+	Args     [4]uint64
+
+	// Data carries the payload's application words for delivery to the
+	// receiver's handler (at most PacketPayload bytes' worth). It is
+	// modeling convenience — on the wire the packet is still 20 bytes.
+	Data []uint64
+
+	// DataBytes is the application-data portion of the payload (0..16).
+	DataBytes int
+
+	// Arrive is the packet's arrival time at the destination NI.
+	Arrive sim.Time
+}
+
+// Network is the interconnect: constant latency, no contention, infinite
+// bandwidth (the paper's assumption; Section 4 notes LAPSE models contention
+// but this study deliberately does not).
+type Network struct {
+	Eng *sim.Engine
+	Cfg *cost.Config
+
+	nis []*NI
+
+	// Injected and Delivered count packets for conservation tests.
+	Injected, Delivered int64
+}
+
+// NewNetwork creates the interconnect.
+func NewNetwork(eng *sim.Engine, cfg *cost.Config) *Network {
+	return &Network{Eng: eng, Cfg: cfg}
+}
+
+// Attach creates the network interface for processor p. Interfaces must be
+// attached in processor-ID order.
+func (n *Network) Attach(p *sim.Proc) *NI {
+	if p.ID != len(n.nis) {
+		panic(fmt.Sprintf("ni: attach out of order: proc %d, have %d", p.ID, len(n.nis)))
+	}
+	ni := &NI{Node: p.ID, P: p, Cfg: n.Cfg, net: n}
+	n.nis = append(n.nis, ni)
+	return ni
+}
+
+// NI is one node's network interface.
+type NI struct {
+	Node int
+	P    *sim.Proc
+	Cfg  *cost.Config
+
+	net     *Network
+	inq     []Packet // ordered by arrival: deliveries happen in event-time order
+	inqHead int      // consumed prefix (amortized O(1) pops)
+	waiter  bool     // the processor is blocked awaiting a delivery
+}
+
+func (ni *NI) qlen() int { return len(ni.inq) - ni.inqHead }
+
+func (ni *NI) qhead() *Packet { return &ni.inq[ni.inqHead] }
+
+func (ni *NI) qpop() Packet {
+	pkt := ni.inq[ni.inqHead]
+	ni.inq[ni.inqHead] = Packet{}
+	ni.inqHead++
+	if ni.inqHead == len(ni.inq) {
+		ni.inq = ni.inq[:0]
+		ni.inqHead = 0
+	} else if ni.inqHead > 1024 && ni.inqHead*2 > len(ni.inq) {
+		n := copy(ni.inq, ni.inq[ni.inqHead:])
+		ni.inq = ni.inq[:n]
+		ni.inqHead = 0
+	}
+	return pkt
+}
+
+// Pending returns the number of queued incoming packets (for tests).
+func (ni *NI) Pending() int { return ni.qlen() }
+
+// Status reads the NI status word (5 cycles, charged to network access) and
+// reports whether an incoming packet is available at the current clock.
+func (ni *NI) Status() bool {
+	ni.P.Interact()
+	ni.P.ChargeStall(stats.NetAccess, ni.Cfg.NIStatusCycles)
+	return ni.qlen() > 0 && ni.qhead().Arrive <= ni.P.Clock()
+}
+
+// Send injects a packet: write tag+destination (5 cycles) then store five
+// words (15 cycles). pkt.DataBytes of the 16-byte payload are counted as
+// application data, the rest (plus the 4-byte tag word) as control. Src and
+// Arrive are filled in by the interface.
+func (ni *NI) Send(pkt Packet) {
+	if pkt.DataBytes < 0 || pkt.DataBytes > ni.Cfg.PacketPayload {
+		panic(fmt.Sprintf("ni: dataBytes %d out of range", pkt.DataBytes))
+	}
+	dst := pkt.Dst
+	if dst < 0 || dst >= len(ni.net.nis) {
+		panic(fmt.Sprintf("ni: send to invalid node %d", dst))
+	}
+	p := ni.P
+	p.Interact()
+	p.ChargeStall(stats.NetAccess, ni.Cfg.NIWriteTagDest+ni.Cfg.NISendCycles)
+	p.Acct.Add(stats.CntMessages, 1)
+	p.Acct.Add(stats.CntBytesData, int64(pkt.DataBytes))
+	p.Acct.Add(stats.CntBytesControl, int64(ni.Cfg.PacketBytes-pkt.DataBytes))
+
+	pkt.Src = ni.Node
+	pkt.Arrive = p.Clock() + ni.Cfg.NetLatency
+	ni.net.Injected++
+	dstNI := ni.net.nis[dst]
+	ni.net.Eng.Schedule(pkt.Arrive, func() {
+		dstNI.inq = append(dstNI.inq, pkt)
+		ni.net.Delivered++
+		if dstNI.waiter {
+			dstNI.waiter = false
+			dstNI.P.Wake(pkt.Arrive, nil)
+		}
+	})
+}
+
+// Recv pops the head packet (15 cycles of loads). The caller must have
+// observed Status() true; receiving from an empty or not-yet-arrived queue
+// panics, as it would wedge real hardware.
+func (ni *NI) Recv() Packet {
+	p := ni.P
+	p.Interact()
+	if ni.qlen() == 0 || ni.qhead().Arrive > p.Clock() {
+		panic(fmt.Sprintf("ni: node %d recv with no packet available", ni.Node))
+	}
+	p.ChargeStall(stats.NetAccess, ni.Cfg.NIRecvCycles)
+	return ni.qpop()
+}
+
+// WaitPacket stalls (charging cat) until a packet is available. An empty
+// queue blocks the processor until the next delivery — the stall spans
+// exactly the idle window, as a polling loop would.
+func (ni *NI) WaitPacket(cat stats.Category) {
+	p := ni.P
+	p.Interact()
+	for {
+		if ni.qlen() > 0 {
+			if a := ni.qhead().Arrive; a > p.Clock() {
+				p.WaitUntil(a, cat)
+			}
+			return
+		}
+		ni.waiter = true
+		p.Block(cat, "awaiting packet")
+	}
+}

@@ -1,0 +1,131 @@
+package ni
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func TestSendDeliversAfterLatency(t *testing.T) {
+	cfg := cost.Default(2)
+	eng := sim.NewEngine(cfg.NetLatency)
+	net := NewNetwork(eng, &cfg)
+	var arrive sim.Time
+	var sendDone sim.Time
+	var recvTag int
+	procs := make([]*sim.Proc, 2)
+	nis := make([]*NI, 2)
+	procs[0] = eng.AddProc(func(p *sim.Proc) {
+		nis[0].Send(Packet{Dst: 1, Tag: 7, DataBytes: 8})
+		sendDone = p.Clock()
+	})
+	procs[1] = eng.AddProc(func(p *sim.Proc) {
+		nis[1].WaitPacket(stats.LibComp)
+		arrive = p.Clock()
+		if !nis[1].Status() {
+			t.Error("status should see the packet")
+		}
+		pkt := nis[1].Recv()
+		recvTag = pkt.Tag
+	})
+	nis[0] = net.Attach(procs[0])
+	nis[1] = net.Attach(procs[1])
+	eng.Run()
+	if recvTag != 7 {
+		t.Errorf("tag = %d", recvTag)
+	}
+	// Send costs 5+15 cycles; arrival is 100 later.
+	if sendDone != 20 {
+		t.Errorf("send completed at %d, want 20", sendDone)
+	}
+	if arrive != 120 {
+		t.Errorf("packet observed at %d, want 120", arrive)
+	}
+	if net.Injected != 1 || net.Delivered != 1 {
+		t.Errorf("conservation: %d/%d", net.Injected, net.Delivered)
+	}
+}
+
+func TestByteAccountingSplitsHeaderAsControl(t *testing.T) {
+	cfg := cost.Default(2)
+	eng := sim.NewEngine(cfg.NetLatency)
+	net := NewNetwork(eng, &cfg)
+	procs := make([]*sim.Proc, 2)
+	nis := make([]*NI, 2)
+	procs[0] = eng.AddProc(func(p *sim.Proc) {
+		nis[0].Send(Packet{Dst: 1, DataBytes: 16}) // full payload is data
+		nis[0].Send(Packet{Dst: 1, DataBytes: 0})  // pure control
+	})
+	procs[1] = eng.AddProc(func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			nis[1].WaitPacket(stats.LibComp)
+			nis[1].Recv()
+		}
+	})
+	nis[0] = net.Attach(procs[0])
+	nis[1] = net.Attach(procs[1])
+	eng.Run()
+	a := procs[0].Acct
+	if d := a.Counts(stats.PhaseDefault, stats.CntBytesData); d != 16 {
+		t.Errorf("data bytes = %d, want 16", d)
+	}
+	// Headers: 4 (with data) + 20 (pure control).
+	if c := a.Counts(stats.PhaseDefault, stats.CntBytesControl); c != 24 {
+		t.Errorf("control bytes = %d, want 24", c)
+	}
+	if m := a.Counts(stats.PhaseDefault, stats.CntMessages); m != 2 {
+		t.Errorf("messages = %d, want 2", m)
+	}
+}
+
+func TestFIFOOrderPreserved(t *testing.T) {
+	cfg := cost.Default(2)
+	eng := sim.NewEngine(cfg.NetLatency)
+	net := NewNetwork(eng, &cfg)
+	const n = 50
+	var got []int
+	procs := make([]*sim.Proc, 2)
+	nis := make([]*NI, 2)
+	procs[0] = eng.AddProc(func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			nis[0].Send(Packet{Dst: 1, Tag: i})
+		}
+	})
+	procs[1] = eng.AddProc(func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			nis[1].WaitPacket(stats.LibComp)
+			got = append(got, nis[1].Recv().Tag)
+		}
+	})
+	nis[0] = net.Attach(procs[0])
+	nis[1] = net.Attach(procs[1])
+	eng.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order at %d: %d", i, v)
+		}
+	}
+}
+
+func TestOversizedPayloadPanics(t *testing.T) {
+	cfg := cost.Default(2)
+	eng := sim.NewEngine(cfg.NetLatency)
+	net := NewNetwork(eng, &cfg)
+	procs := []*sim.Proc{
+		eng.AddProc(func(p *sim.Proc) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for oversized payload")
+				}
+			}()
+			nis := net.nis
+			nis[0].Send(Packet{Dst: 1, DataBytes: 17})
+		}),
+		eng.AddProc(func(p *sim.Proc) {}),
+	}
+	net.Attach(procs[0])
+	net.Attach(procs[1])
+	eng.Run()
+}

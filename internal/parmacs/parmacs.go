@@ -1,0 +1,314 @@
+// Package parmacs provides the shared-memory programming primitives the
+// paper's programs use (§4.2): gmalloc allocation from the shared address
+// space with round-robin placement (or the local-allocation policy of the
+// EM3D ablation), the create() start-up model in which node 0 initializes
+// while other nodes wait, MCS queue locks (Mellor-Crummey & Scott, TOCS
+// 1991), MCS-style software reductions, and the hardware barrier.
+package parmacs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/coherence"
+	"repro/internal/cost"
+	"repro/internal/memsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Policy selects where gmalloc homes shared data.
+type Policy int
+
+const (
+	// RoundRobin stripes the shared heap across nodes page by page — the
+	// paper's default gmalloc behavior.
+	RoundRobin Policy = iota
+	// Local homes each allocation at the calling node — the allocation
+	// ablation of paper Table 17.
+	Local
+)
+
+// Runtime is the machine-wide parmacs state.
+type Runtime struct {
+	Cfg    *cost.Config
+	Pr     *coherence.Protocol
+	Space  *memsim.AddrSpace
+	Bar    *sim.Barrier
+	Policy Policy
+
+	created    bool
+	createTime sim.Time
+	startWait  []*sim.Proc
+	lockSerial int
+}
+
+// NewRuntime wires the parmacs layer to the coherence protocol and barrier.
+func NewRuntime(cfg *cost.Config, pr *coherence.Protocol, space *memsim.AddrSpace, bar *sim.Barrier) *Runtime {
+	return &Runtime{Cfg: cfg, Pr: pr, Space: space, Bar: bar}
+}
+
+// alloc returns a base address for n bytes under the current policy.
+func (rt *Runtime) alloc(caller int, bytes int) uint64 {
+	if rt.Policy == Local {
+		return rt.Space.AllocSharedOn(caller, bytes)
+	}
+	return rt.Space.AllocShared(bytes)
+}
+
+// GMallocF allocates a shared double-precision vector of n elements
+// (parmacs G_MALLOC).
+func (rt *Runtime) GMallocF(caller int, n int) memsim.FVec {
+	return memsim.NewFVec(rt.alloc(caller, n*memsim.WordBytes), n)
+}
+
+// GMallocFSized allocates a shared float vector with explicit element size
+// (4 for single precision).
+func (rt *Runtime) GMallocFSized(caller, n, elemBytes int) memsim.FVec {
+	return memsim.NewFVecSized(rt.alloc(caller, n*elemBytes), n, elemBytes)
+}
+
+// GMallocI allocates a shared int vector of n elements.
+func (rt *Runtime) GMallocI(caller int, n int) memsim.IVec {
+	return memsim.NewIVec(rt.alloc(caller, n*memsim.WordBytes), n)
+}
+
+// GMallocFOn / GMallocIOn allocate shared vectors homed at an explicit node
+// regardless of policy (MCS queue nodes, per-node reduction slots).
+func (rt *Runtime) GMallocFOn(home int, n int) memsim.FVec {
+	return memsim.NewFVec(rt.Space.AllocSharedOn(home, n*memsim.WordBytes), n)
+}
+
+// GMallocIOn allocates a shared int vector homed at an explicit node.
+func (rt *Runtime) GMallocIOn(home int, n int) memsim.IVec {
+	return memsim.NewIVec(rt.Space.AllocSharedOn(home, n*memsim.WordBytes), n)
+}
+
+// WaitCreate is called by every node but 0 at program start: the node idles
+// (charged to Start-up Wait, as in the paper's MSE-SM breakdown) until node
+// 0 finishes serial initialization and calls Create.
+func (rt *Runtime) WaitCreate(p *sim.Proc) {
+	if p.ID == 0 {
+		return
+	}
+	if rt.created {
+		// Node 0 already called Create (it runs first within the quantum);
+		// idle until the creation time.
+		p.WaitUntil(rt.createTime, stats.StartupWait)
+		return
+	}
+	rt.startWait = append(rt.startWait, p)
+	p.Block(stats.StartupWait, "waiting for create()")
+}
+
+// Create is called by node 0 after initialization: it starts the worker
+// function on all other nodes (parmacs create(f) duplicating the data
+// segments — the duplication cost is part of node 0's initialization, which
+// the application charges as computation).
+func (rt *Runtime) Create(p *sim.Proc) {
+	if p.ID != 0 {
+		panic("parmacs: Create must be called by node 0")
+	}
+	if rt.created {
+		panic("parmacs: Create called twice")
+	}
+	rt.created = true
+	rt.createTime = p.Clock()
+	for _, w := range rt.startWait {
+		w.Wake(p.Clock(), nil)
+	}
+	rt.startWait = nil
+}
+
+// Barrier enters the hardware barrier (paper: 100 cycles from last arrival),
+// charging the wait to the barrier category.
+func (rt *Runtime) Barrier(p *sim.Proc) { rt.Bar.Wait(p, stats.BarrierWait) }
+
+// --- MCS locks ---
+
+// lockOpCycles is the instruction overhead of lock bookkeeping around the
+// memory operations themselves.
+const lockOpCycles = 12
+
+// Lock is an MCS queue lock. Each processor spins on a separate,
+// locally cached shared location; the releaser passes the lock with a
+// single remote write that terminates the spin (paper §4.2 footnote 5).
+// The tail pointer uses the machine's atomic swap; release uses
+// compare-and-swap as in the original MCS algorithm (the paper's machine
+// exposes atomic swap — MCS provides a swap-only release at the cost of
+// extra handshaking, which we fold into the same modeled cost).
+type Lock struct {
+	rt   *Runtime
+	tail memsim.IVec // one element: -1 free, else waiter node id
+
+	locked []memsim.IVec // per node, homed at that node
+	next   []memsim.IVec // per node, homed at that node
+}
+
+// NewLock allocates a lock. Called once (by node 0) during initialization.
+func NewLock(rt *Runtime) *Lock {
+	n := rt.Cfg.Procs
+	l := &Lock{rt: rt, tail: rt.GMallocIOn(rt.lockSerial%n, 1)}
+	rt.lockSerial++
+	l.tail.V[0] = -1
+	for i := 0; i < n; i++ {
+		lv := rt.GMallocIOn(i, 1)
+		nv := rt.GMallocIOn(i, 1)
+		nv.V[0] = -1
+		l.locked = append(l.locked, lv)
+		l.next = append(l.next, nv)
+	}
+	return l
+}
+
+// Acquire takes the lock; all cycles (swap, queue linking, spinning) are
+// charged to the Locks category.
+func (l *Lock) Acquire(m *memsim.Mem) {
+	p := m.P
+	p.PushModeFull(stats.LockWait, stats.LockWait, stats.CntPrivateMisses,
+		stats.LockWait, stats.LockWait)
+	defer p.PopMode()
+	me := p.ID
+	p.Compute(lockOpCycles)
+	l.next[me].Set(m, 0, -1)
+	pred := l.rt.Pr.AtomicSwapI(m, &l.tail, 0, int64(me))
+	if pred >= 0 {
+		l.locked[me].Set(m, 0, 1)
+		l.next[pred].Set(m, 0, int64(me))
+		l.rt.Pr.SpinI(m, &l.locked[me], 0, stats.LockWait,
+			func(v int64) bool { return v == 0 })
+	}
+}
+
+// Release passes the lock to the next waiter, if any.
+func (l *Lock) Release(m *memsim.Mem) {
+	p := m.P
+	p.PushModeFull(stats.LockWait, stats.LockWait, stats.CntPrivateMisses,
+		stats.LockWait, stats.LockWait)
+	defer p.PopMode()
+	me := p.ID
+	p.Compute(lockOpCycles)
+	if l.next[me].Get(m, 0) < 0 {
+		if l.rt.Pr.AtomicCASI(m, &l.tail, 0, int64(me), -1) {
+			return
+		}
+		// A successor is linking itself in; wait for the link.
+		l.rt.Pr.SpinI(m, &l.next[me], 0, stats.LockWait,
+			func(v int64) bool { return v >= 0 })
+	}
+	succ := int(l.next[me].Get(m, 0))
+	l.locked[succ].Set(m, 0, 0)
+}
+
+// --- MCS-style software reductions ---
+
+// Op is a reduction combining operator.
+type Op int
+
+const (
+	// OpSum adds contributions.
+	OpSum Op = iota
+	// OpMax keeps the maximum value (and its index).
+	OpMax
+	// OpMaxAbs keeps the value of largest magnitude (and its index).
+	OpMaxAbs
+)
+
+func combine(op Op, v1 float64, i1 int64, v2 float64, i2 int64) (float64, int64) {
+	switch op {
+	case OpSum:
+		return v1 + v2, 0
+	case OpMax:
+		if v2 > v1 {
+			return v2, i2
+		}
+		return v1, i1
+	case OpMaxAbs:
+		if math.Abs(v2) > math.Abs(v1) {
+			return v2, i2
+		}
+		return v1, i1
+	}
+	panic(fmt.Sprintf("parmacs: unknown op %d", op))
+}
+
+// Cats selects the accounting categories for a reduction: Gauss-SM reports
+// reductions as their own row ("Reductions 6%"), while LCP-SM splits them
+// into "Sync Comp" and "Sync Miss".
+type Cats struct {
+	Comp stats.Category // computation inside the primitive
+	Miss stats.Category // cache-miss stalls inside the primitive
+	Wait stats.Category // spin-waiting inside the primitive
+}
+
+// GaussCats charges everything to the Reductions row.
+var GaussCats = Cats{Comp: stats.ReductionWait, Miss: stats.ReductionWait, Wait: stats.ReductionWait}
+
+// SyncCats charges computation to Sync Comp and misses to Sync Miss.
+var SyncCats = Cats{Comp: stats.SyncComp, Miss: stats.SyncMiss, Wait: stats.SyncComp}
+
+// reduceOpCycles is the per-node instruction overhead of one reduction step.
+const reduceOpCycles = 18
+
+// Reduction combines values up a 4-ary tree, the structure of the MCS
+// barrier's upward phase: each parent spins on locally homed per-child
+// flags; children deposit a value and bump the flag with remote writes.
+type Reduction struct {
+	rt    *Runtime
+	arity int
+
+	flags []memsim.IVec // per node: one slot per child, homed at the node
+	vals  []memsim.FVec // per node: contributed value, homed at the node
+	idxs  []memsim.IVec // per node: contributed index
+	round []int64       // per node local round counter (private bookkeeping)
+}
+
+// NewReduction allocates the reduction tree. Called once during
+// initialization.
+func NewReduction(rt *Runtime) *Reduction {
+	n := rt.Cfg.Procs
+	r := &Reduction{rt: rt, arity: 4, round: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		r.flags = append(r.flags, rt.GMallocIOn(i, r.arity))
+		r.vals = append(r.vals, rt.GMallocFOn(i, 1))
+		r.idxs = append(r.idxs, rt.GMallocIOn(i, 1))
+	}
+	return r
+}
+
+// Reduce combines (val, idx) across all nodes, delivering the result at
+// node 0 (zeros elsewhere). All nodes must call it in the same order.
+func (r *Reduction) Reduce(m *memsim.Mem, val float64, idx int64, op Op, cats Cats) (float64, int64) {
+	p := m.P
+	p.PushModeFull(cats.Comp, cats.Miss, stats.CntPrivateMisses, cats.Miss, cats.Miss)
+	defer p.PopMode()
+
+	me := p.ID
+	r.round[me]++
+	round := r.round[me]
+	p.Compute(reduceOpCycles)
+
+	// Gather children (4-ary tree rooted at 0).
+	for c := 0; c < r.arity; c++ {
+		child := me*r.arity + 1 + c
+		if child >= r.rt.Cfg.Procs {
+			break
+		}
+		r.rt.Pr.SpinI(m, &r.flags[me], c, cats.Wait,
+			func(v int64) bool { return v >= round })
+		cv := r.vals[child].Get(m, 0)
+		ci := r.idxs[child].Get(m, 0)
+		val, idx = combine(op, val, idx, cv, ci)
+		p.Compute(reduceOpCycles)
+	}
+	if me == 0 {
+		return val, idx
+	}
+	// Deposit and notify the parent with remote writes.
+	r.vals[me].Set(m, 0, val)
+	r.idxs[me].Set(m, 0, idx)
+	parent := (me - 1) / r.arity
+	slot := (me - 1) % r.arity
+	r.flags[parent].Set(m, slot, round)
+	return 0, 0
+}

@@ -1,0 +1,80 @@
+package parmacs_test
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/machine"
+	"repro/internal/memsim"
+	"repro/internal/parmacs"
+)
+
+// TestRepeatedReduceStress regression-tests the spin-wait races: a reader
+// sleeping on an already-consumed invalidation, a store losing ownership
+// between grant and retirement, and the reader/writer upgrade-downgrade
+// livelock the directory's settle window breaks.
+func TestRepeatedReduceStress(t *testing.T) {
+	cfg := cost.Default(8)
+	var red *parmacs.Reduction
+	sums := make([]float64, 0, 50)
+	m := machine.NewSM(cfg, parmacs.RoundRobin, func(n *machine.SMNode) {
+		if n.ID == 0 {
+			red = parmacs.NewReduction(n.RT)
+			n.RT.Create(n.P)
+		} else {
+			n.RT.WaitCreate(n.P)
+		}
+		n.Barrier()
+		for round := 0; round < 50; round++ {
+			v, _ := red.Reduce(n.Mem, float64(n.ID+round), 0, parmacs.OpSum, parmacs.SyncCats)
+			if n.ID == 0 {
+				sums = append(sums, v)
+			}
+			n.Barrier()
+			// Skewed compute keeps arrival orders adversarial.
+			n.Compute(int64(100 * (n.ID*7%5 + 1)))
+		}
+	})
+	m.Eng.MaxTime = 50_000_000 // catch livelock as well as deadlock
+	m.Run()
+	for round, got := range sums {
+		want := float64(8*round + 28) // sum of ID+round over IDs 0..7
+		if got != want {
+			t.Errorf("round %d: sum = %v, want %v", round, got, want)
+		}
+	}
+	if len(sums) != 50 {
+		t.Fatalf("completed %d rounds, want 50", len(sums))
+	}
+}
+
+// TestLockHandoffStress hammers a single MCS lock from every node with
+// minimal critical sections, the pattern that provoked the grant/recall
+// livelock.
+func TestLockHandoffStress(t *testing.T) {
+	cfg := cost.Default(16)
+	const perProc = 20
+	var lock *parmacs.Lock
+	var counter memsim.IVec
+	m := machine.NewSM(cfg, parmacs.RoundRobin, func(n *machine.SMNode) {
+		if n.ID == 0 {
+			lock = parmacs.NewLock(n.RT)
+			counter = n.RT.GMallocI(0, 1)
+			n.RT.Create(n.P)
+		} else {
+			n.RT.WaitCreate(n.P)
+		}
+		n.Barrier()
+		for k := 0; k < perProc; k++ {
+			lock.Acquire(n.Mem)
+			counter.Set(n.Mem, 0, counter.Get(n.Mem, 0)+1)
+			lock.Release(n.Mem)
+		}
+		n.Barrier()
+	})
+	m.Eng.MaxTime = 100_000_000
+	m.Run()
+	if counter.V[0] != int64(16*perProc) {
+		t.Errorf("counter = %d, want %d", counter.V[0], 16*perProc)
+	}
+}

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Barrier models the hardware barrier both machines provide (as on the
+// CM-5): all participants leave the barrier a fixed latency after the last
+// arrival (Table 1: 100 cycles from last arrival).
+type Barrier struct {
+	eng     *Engine
+	n       int
+	latency Time
+
+	waiting []*Proc
+	maxArr  Time
+	epoch   int64 // completed barrier episodes, for tests and sanity checks
+}
+
+// NewBarrier creates a barrier for n participants with the given release
+// latency.
+func NewBarrier(eng *Engine, n int, latency Time) *Barrier {
+	if n <= 0 {
+		panic("sim: barrier needs at least one participant")
+	}
+	return &Barrier{eng: eng, n: n, latency: latency}
+}
+
+// Epochs returns how many times the barrier has completed.
+func (b *Barrier) Epochs() int64 { return b.epoch }
+
+// Wait enters the barrier. The caller stalls until latency cycles after the
+// last participant arrives; the stall is charged to cat. Reentering before
+// all participants have arrived for the current episode is a program error
+// and panics.
+func (b *Barrier) Wait(p *Proc, cat stats.Category) {
+	p.Interact()
+	for _, q := range b.waiting {
+		if q == p {
+			panic(fmt.Sprintf("sim: proc %d re-entered barrier", p.ID))
+		}
+	}
+	if p.clock > b.maxArr {
+		b.maxArr = p.clock
+	}
+	if len(b.waiting)+1 < b.n {
+		b.waiting = append(b.waiting, p)
+		p.Block(cat, "barrier")
+		return
+	}
+	// Last arrival: release everyone.
+	release := b.maxArr + b.latency
+	for _, q := range b.waiting {
+		q.Wake(release, nil)
+	}
+	b.waiting = b.waiting[:0]
+	b.maxArr = 0
+	b.epoch++
+	p.WaitUntil(release, cat)
+}

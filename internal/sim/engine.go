@@ -1,0 +1,239 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// underlying both simulated machines, in the style of the Wisconsin Wind
+// Tunnel (Reinhardt et al., SIGMETRICS 1993).
+//
+// Target "processors" are Go functions executed as coroutines: exactly one
+// goroutine runs at any moment, and the engine interleaves processors in
+// fixed order within conservative time quanta equal to the minimum network
+// latency (100 cycles). Any event one processor causes at another is
+// delayed by at least the network latency, so intra-quantum execution order
+// cannot affect the simulation's outcome — the same lookahead argument WWT
+// uses. All time is virtual (cycles); wall-clock effects such as Go's
+// garbage collector cannot perturb measurements.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Time is virtual time in processor cycles.
+type Time = int64
+
+// Event is a timestamped action processed by the engine in (time, sequence)
+// order. Handlers run outside any processor context; they typically deliver
+// messages, run directory/cache controller work, and wake blocked
+// processors.
+type Event struct {
+	At Time
+	Fn func()
+
+	seq   uint64
+	index int
+}
+
+// Engine coordinates processors and events.
+type Engine struct {
+	Quantum Time // conservative lookahead; events cross processors no faster
+
+	now    Time // start of the current quantum
+	qEnd   Time // end of the current quantum
+	events eventHeap
+	seq    uint64
+	procs  []*Proc
+
+	running  *Proc // processor currently executing, if any
+	finished int   // processors that have returned
+	inEvents bool  // processing the event phase
+
+	// MaxTime, when positive, bounds virtual time: exceeding it panics with
+	// the processor states. It catches simulated livelock (time advancing
+	// forever without progress) the way the deadlock detector catches
+	// stalled time.
+	MaxTime Time
+
+	// Trace, when non-nil, receives a line per engine decision. Used by
+	// tests; nil in normal runs.
+	Trace func(format string, args ...any)
+}
+
+// NewEngine returns an engine with the given quantum (use the network
+// latency; 100 in the paper's machines).
+func NewEngine(quantum Time) *Engine {
+	if quantum <= 0 {
+		panic("sim: quantum must be positive")
+	}
+	return &Engine{Quantum: quantum}
+}
+
+// Now returns the start of the current quantum. Individual processors may
+// have local clocks ahead of this.
+func (e *Engine) Now() Time { return e.now }
+
+// QuantumEnd returns the end of the current quantum; processors yield to the
+// scheduler when their local clock reaches it.
+func (e *Engine) QuantumEnd() Time { return e.qEnd }
+
+// Schedule enqueues an event at absolute time at. Events scheduled for the
+// past are processed at the start of the next quantum (their handlers must
+// therefore tolerate lateness bounded by one quantum; per-object busy times
+// preserve monotonicity).
+func (e *Engine) Schedule(at Time, fn func()) {
+	e.seq++
+	heap.Push(&e.events, &Event{At: at, Fn: fn, seq: e.seq})
+}
+
+// AddProc registers a new processor whose body is fn. Must be called before
+// Run. Processors are created with ID = registration order.
+func (e *Engine) AddProc(fn func(p *Proc)) *Proc {
+	p := &Proc{
+		ID:     len(e.procs),
+		eng:    e,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+		body:   fn,
+		Acct:   &stats.Acct{},
+	}
+	p.missCat = stats.LocalMiss
+	p.missCnt = stats.CntLocalMisses
+	p.sharedCat = stats.SharedMiss
+	p.wfCat = stats.WriteFault
+	e.procs = append(e.procs, p)
+	return p
+}
+
+// Procs returns the registered processors.
+func (e *Engine) Procs() []*Proc { return e.procs }
+
+// Run executes the simulation until every processor's body has returned and
+// no events remain. It panics on deadlock (all processors blocked with no
+// pending events) with a description of each processor's state.
+func (e *Engine) Run() {
+	for _, p := range e.procs {
+		p.start()
+	}
+	for e.finished < len(e.procs) {
+		if e.MaxTime > 0 && e.now > e.MaxTime {
+			e.overtime()
+		}
+		e.qEnd = e.now + e.Quantum
+
+		// Event phase: handle everything due before the quantum ends.
+		e.inEvents = true
+		for len(e.events) > 0 && e.events[0].At < e.qEnd {
+			ev := heap.Pop(&e.events).(*Event)
+			ev.Fn()
+		}
+		e.inEvents = false
+
+		// Processor phase: run each processor that has work this quantum.
+		ran := false
+		for _, p := range e.procs {
+			if p.done || p.blocked {
+				continue
+			}
+			if p.clock < e.qEnd {
+				ran = true
+				e.dispatch(p)
+			}
+		}
+
+		// Advance. If the quantum was idle, jump to the next interesting
+		// time instead of crawling quantum by quantum.
+		if ran {
+			e.now = e.qEnd
+			continue
+		}
+		next := e.nextInteresting()
+		if next < 0 {
+			e.deadlock()
+		}
+		if next < e.qEnd {
+			next = e.qEnd
+		}
+		// Align down to the quantum grid so event-phase windows stay stable.
+		e.now = next - (next % e.Quantum)
+	}
+	// Drain any trailing events (e.g. in-flight acknowledgements) so event
+	// conservation properties hold for tests.
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		e.now = ev.At
+		ev.Fn()
+	}
+}
+
+// nextInteresting returns the earliest time at which anything can happen:
+// the next event or the clock of a runnable (but run-ahead) processor.
+// Returns -1 if nothing can ever happen again.
+func (e *Engine) nextInteresting() Time {
+	next := Time(-1)
+	if len(e.events) > 0 {
+		next = e.events[0].At
+	}
+	for _, p := range e.procs {
+		if p.done || p.blocked {
+			continue
+		}
+		if next < 0 || p.clock < next {
+			next = p.clock
+		}
+	}
+	return next
+}
+
+func (e *Engine) overtime() {
+	msg := fmt.Sprintf("sim: exceeded MaxTime %d\n", e.MaxTime)
+	for _, p := range e.procs {
+		msg += fmt.Sprintf("  proc %d: clock=%d done=%v blocked=%v reason=%q\n",
+			p.ID, p.clock, p.done, p.blocked, p.blockReason)
+	}
+	panic(msg)
+}
+
+func (e *Engine) deadlock() {
+	msg := "sim: deadlock — all processors blocked and no events pending\n"
+	for _, p := range e.procs {
+		msg += fmt.Sprintf("  proc %d: clock=%d done=%v blocked=%v reason=%q\n",
+			p.ID, p.clock, p.done, p.blocked, p.blockReason)
+	}
+	panic(msg)
+}
+
+// dispatch hands control to p until it yields.
+func (e *Engine) dispatch(p *Proc) {
+	e.running = p
+	p.resume <- struct{}{}
+	<-p.yield
+	e.running = nil
+}
+
+// eventHeap is a min-heap on (At, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

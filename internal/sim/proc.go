@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Proc is a simulated processor. Its body function runs as a coroutine:
+// exactly one processor executes at a time, under engine control, so target
+// programs may freely share Go data structures.
+//
+// A processor has a local virtual clock. Pure computation (Compute) may run
+// ahead of the engine's quantum; any operation with cross-processor
+// visibility (memory-system access, network-interface access,
+// synchronization) first synchronizes with the quantum via Interact.
+type Proc struct {
+	ID   int
+	Acct *stats.Acct
+
+	eng   *Engine
+	clock Time
+
+	resume chan struct{}
+	yield  chan struct{}
+	body   func(*Proc)
+
+	done        bool
+	blocked     bool
+	blockReason string
+	blockStart  Time
+	blockCat    stats.Category
+	wakeAt      Time
+	wakeData    any
+
+	// Accounting modes. Library and synchronization code switch these so
+	// that computation and cache misses are charged to the right category
+	// (the paper separates "Lib Comp"/"Lib Misses" from application
+	// computation and local misses).
+	compCat   stats.Category
+	missCat   stats.Category
+	missCnt   stats.Count
+	sharedCat stats.Category
+	wfCat     stats.Category
+	modes     []mode
+}
+
+type mode struct {
+	comp   stats.Category
+	miss   stats.Category
+	cnt    stats.Count
+	shared stats.Category
+	wf     stats.Category
+}
+
+// Engine returns the engine this processor belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Clock returns the processor's local virtual time.
+func (p *Proc) Clock() Time { return p.clock }
+
+func (p *Proc) start() {
+	p.compCat = stats.Comp
+	go func() {
+		<-p.resume
+		p.body(p)
+		p.done = true
+		p.eng.finished++
+		p.yield <- struct{}{}
+	}()
+}
+
+// yieldToEngine suspends the processor until the engine dispatches it again.
+func (p *Proc) yieldToEngine() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Compute charges cycles of computation at the current computation category
+// (application computation by default; library computation inside
+// message-passing library code). The clock may run ahead of the engine's
+// quantum; the processor yields lazily at its next interaction.
+func (p *Proc) Compute(cycles int64) {
+	if cycles < 0 {
+		panic(fmt.Sprintf("sim: proc %d: negative compute %d", p.ID, cycles))
+	}
+	p.Acct.Charge(p.compCat, cycles)
+	p.clock += cycles
+}
+
+// ChargeStall charges cycles to an explicit category and advances the clock.
+// Used by the memory system and libraries for stalls with a known cost.
+func (p *Proc) ChargeStall(cat stats.Category, cycles int64) {
+	if cycles < 0 {
+		panic(fmt.Sprintf("sim: proc %d: negative stall %d", p.ID, cycles))
+	}
+	p.Acct.Charge(cat, cycles)
+	p.clock += cycles
+}
+
+// Interact synchronizes the processor with the engine's quantum: if the
+// local clock has run ahead of the current quantum, the processor yields
+// until the quantum catches up. Every externally visible operation calls
+// this first, bounding observable reordering by one quantum (= the minimum
+// network latency), the precision of the original Wind Tunnel simulation.
+func (p *Proc) Interact() {
+	for p.clock >= p.eng.qEnd {
+		p.yieldToEngine()
+	}
+}
+
+// WaitUntil advances the clock to t (if in the future), charging the wait to
+// cat. It does not yield; use for known-length local waits.
+func (p *Proc) WaitUntil(t Time, cat stats.Category) {
+	if t > p.clock {
+		p.ChargeStall(cat, t-p.clock)
+	}
+}
+
+// SpinQuantum burns the remainder of the current quantum in category cat and
+// yields. Poll loops use it to wait efficiently: nothing observable can
+// change until the next quantum, so one charge covers the whole window.
+func (p *Proc) SpinQuantum(cat stats.Category) {
+	if p.clock < p.eng.qEnd {
+		p.ChargeStall(cat, p.eng.qEnd-p.clock)
+	}
+	p.yieldToEngine()
+}
+
+// SpinUntil repeatedly evaluates cond at quantum granularity, charging the
+// wait to cat, until cond returns true. cond is evaluated at the processor's
+// current clock; per-check costs (e.g. a status-register read) are the
+// caller's responsibility.
+func (p *Proc) SpinUntil(cat stats.Category, cond func() bool) {
+	p.Interact()
+	for !cond() {
+		p.SpinQuantum(cat)
+	}
+}
+
+// Block suspends the processor until another party calls Wake. The stall
+// from now until the wake time is charged to cat. It returns the value
+// passed to Wake.
+func (p *Proc) Block(cat stats.Category, reason string) any {
+	p.blocked = true
+	p.blockReason = reason
+	p.blockStart = p.clock
+	p.blockCat = cat
+	p.yieldToEngine()
+	if p.wakeAt > p.blockStart {
+		p.Acct.Charge(cat, p.wakeAt-p.blockStart)
+		p.clock = p.wakeAt
+	}
+	d := p.wakeData
+	p.wakeData = nil
+	return d
+}
+
+// Wake unblocks a processor at absolute time at, delivering data to the
+// Block call. Must be called from an event handler or another processor's
+// context, never from p itself. Waking an unblocked processor panics.
+func (p *Proc) Wake(at Time, data any) {
+	if !p.blocked {
+		panic(fmt.Sprintf("sim: waking proc %d which is not blocked", p.ID))
+	}
+	if at < p.blockStart {
+		at = p.blockStart
+	}
+	p.blocked = false
+	p.blockReason = ""
+	p.wakeAt = at
+	p.wakeData = data
+	if p.clock < at {
+		p.clock = at
+	}
+}
+
+// Blocked reports whether the processor is blocked, and why.
+func (p *Proc) Blocked() (bool, string) { return p.blocked, p.blockReason }
+
+// PushMode switches the computation and miss accounting categories, e.g. on
+// entry to message-passing library code (LibComp/LibMiss) or shared-memory
+// synchronization code (SyncComp/SyncMiss). Paired with PopMode. Shared-miss
+// and write-fault categories are unchanged; see PushModeFull.
+func (p *Proc) PushMode(comp, miss stats.Category, cnt stats.Count) {
+	p.PushModeFull(comp, miss, cnt, p.sharedCat, p.wfCat)
+}
+
+// PushModeFull additionally redirects shared-miss and write-fault stalls,
+// used by shared-memory synchronization primitives so that coherence traffic
+// they cause is charged to the synchronization categories (the paper's
+// "Locks", "Sync Miss", and "Reductions" rows).
+func (p *Proc) PushModeFull(comp, miss stats.Category, cnt stats.Count, shared, wf stats.Category) {
+	p.modes = append(p.modes, mode{p.compCat, p.missCat, p.missCnt, p.sharedCat, p.wfCat})
+	p.compCat, p.missCat, p.missCnt = comp, miss, cnt
+	p.sharedCat, p.wfCat = shared, wf
+}
+
+// PopMode restores the accounting categories saved by the matching PushMode.
+func (p *Proc) PopMode() {
+	n := len(p.modes)
+	if n == 0 {
+		panic(fmt.Sprintf("sim: proc %d: PopMode without PushMode", p.ID))
+	}
+	m := p.modes[n-1]
+	p.modes = p.modes[:n-1]
+	p.compCat, p.missCat, p.missCnt = m.comp, m.miss, m.cnt
+	p.sharedCat, p.wfCat = m.shared, m.wf
+}
+
+// SharedMissCategory returns the category for shared-data miss stalls.
+func (p *Proc) SharedMissCategory() stats.Category { return p.sharedCat }
+
+// WriteFaultCategory returns the category for write-fault stalls.
+func (p *Proc) WriteFaultCategory() stats.Category { return p.wfCat }
+
+// MissCategory returns the category to which cache-miss stalls should
+// currently be charged, and the count to increment.
+func (p *Proc) MissCategory() (stats.Category, stats.Count) {
+	return p.missCat, p.missCnt
+}
+
+// CompCategory returns the category charged by Compute.
+func (p *Proc) CompCategory() stats.Category { return p.compCat }

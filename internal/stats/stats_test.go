@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChargeAndPhases(t *testing.T) {
+	a := &Acct{}
+	a.Charge(Comp, 100)
+	a.SetPhase(2)
+	a.Charge(Comp, 50)
+	a.Charge(LibComp, 7)
+	a.Add(CntMessages, 3)
+	if got := a.Cycles(PhaseDefault, Comp); got != 100 {
+		t.Errorf("phase 0 comp = %d", got)
+	}
+	if got := a.Cycles(2, Comp); got != 50 {
+		t.Errorf("phase 2 comp = %d", got)
+	}
+	if got := a.Cycles(1, Comp); got != 0 {
+		t.Errorf("untouched phase = %d", got)
+	}
+	if got := a.Counts(2, CntMessages); got != 3 {
+		t.Errorf("counts = %d", got)
+	}
+	if a.NumPhases() != 3 {
+		t.Errorf("NumPhases = %d", a.NumPhases())
+	}
+	if got := a.TotalCycles(2); got != 57 {
+		t.Errorf("total = %d", got)
+	}
+}
+
+func TestNegativeChargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a := &Acct{}
+	a.Charge(Comp, -1)
+}
+
+func TestSummarizeAverages(t *testing.T) {
+	a, b := &Acct{}, &Acct{}
+	a.Charge(Comp, 100)
+	b.Charge(Comp, 300)
+	b.SetPhase(1)
+	b.Charge(BarrierWait, 40)
+	s := Summarize([]*Acct{a, b})
+	if got := s.Cycles(PhaseDefault, Comp); got != 200 {
+		t.Errorf("avg comp = %v", got)
+	}
+	if got := s.Cycles(1, BarrierWait); got != 20 {
+		t.Errorf("avg barrier = %v", got)
+	}
+	if got := s.CyclesAll(Comp); got != 200 {
+		t.Errorf("all-phase comp = %v", got)
+	}
+	if got := s.TotalCyclesAll(); got != 220 {
+		t.Errorf("grand total = %v", got)
+	}
+}
+
+func TestCompPerDataByte(t *testing.T) {
+	a := &Acct{}
+	a.Charge(Comp, 1000)
+	a.Add(CntBytesData, 50)
+	s := Summarize([]*Acct{a})
+	if got := s.CompPerDataByte(PhaseDefault); got != 20 {
+		t.Errorf("comp/byte = %v", got)
+	}
+	empty := Summarize([]*Acct{{}})
+	if got := empty.CompPerDataByte(PhaseDefault); got != 0 {
+		t.Errorf("empty comp/byte = %v", got)
+	}
+}
+
+func TestCategoryAndCountNames(t *testing.T) {
+	for c := Category(0); c < NumCategories; c++ {
+		if c.String() == "" || len(c.String()) > 40 {
+			t.Errorf("bad name for category %d: %q", c, c.String())
+		}
+	}
+	for c := Count(0); c < NumCounts; c++ {
+		if c.String() == "" {
+			t.Errorf("bad name for count %d", c)
+		}
+	}
+	if Category(99).String() != "Category(99)" {
+		t.Error("out-of-range category name")
+	}
+}
+
+func TestSummarizeConservesTotals(t *testing.T) {
+	// Property: sum over processors of per-category cycles equals
+	// procs * averaged summary value.
+	f := func(charges []uint16) bool {
+		accts := []*Acct{{}, {}, {}}
+		var total int64
+		for i, c := range charges {
+			v := int64(c % 1000)
+			accts[i%3].Charge(Category(int(c)%int(NumCategories)), v)
+			total += v
+		}
+		s := Summarize(accts)
+		return int64(s.TotalCyclesAll()*3+0.5) == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package tables regenerates every results table of the paper (Tables 4-23)
+// from the simulated machines, pairing each measured quantity with the
+// paper's published value. Absolute agreement is not expected — the paper
+// ran on the Wisconsin Wind Tunnel with the real CMMD binaries — but the
+// shapes (who wins, dominant categories, event-count magnitudes) should
+// hold; EXPERIMENTS.md records the comparison.
+package tables
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// Row pairs one measured value with the paper's published value. Paper < 0
+// means the paper does not report the quantity.
+type Row struct {
+	Label    string
+	Measured float64
+	Paper    float64
+	Unit     string // "Mcyc", "count", "MB", "cyc/B"
+}
+
+// Table is one regenerated paper table.
+type Table struct {
+	ID    int // the paper's table number
+	Title string
+	Rows  []Row
+}
+
+// Render writes the table with measured-vs-paper columns.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table %d: %s\n", t.ID, t.Title)
+	fmt.Fprintf(w, "  %-28s %12s %12s %8s\n", "", "measured", "paper", "")
+	for _, r := range t.Rows {
+		paper := "-"
+		if r.Paper >= 0 {
+			paper = formatVal(r.Paper, r.Unit)
+		}
+		fmt.Fprintf(w, "  %-28s %12s %12s %8s\n",
+			r.Label, formatVal(r.Measured, r.Unit), paper, r.Unit)
+	}
+	fmt.Fprintln(w)
+}
+
+func formatVal(v float64, unit string) string {
+	switch unit {
+	case "Mcyc":
+		return fmt.Sprintf("%.1f", v)
+	case "MB":
+		return fmt.Sprintf("%.2f", v)
+	case "cyc/B":
+		return fmt.Sprintf("%.0f", v)
+	default:
+		if v >= 1e6 {
+			return fmt.Sprintf("%.2fM", v/1e6)
+		}
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// Find returns the table with the given paper number from a list.
+func Find(ts []Table, id int) *Table {
+	for i := range ts {
+		if ts[i].ID == id {
+			return &ts[i]
+		}
+	}
+	return nil
+}
+
+// RenderAll writes every table.
+func RenderAll(ts []Table, w io.Writer) {
+	for i := range ts {
+		ts[i].Render(w)
+	}
+}
+
+// --- shared row builders ---
+
+const mcyc = 1e6
+
+// mpBreakdownRows builds the paper's message-passing time breakdown
+// (computation / local misses / communication split) for one phase set.
+func mpBreakdownRows(s *stats.Summary, paper map[string]float64) []Row {
+	comm := s.CyclesAll(stats.LibComp) + s.CyclesAll(stats.LibMiss) + s.CyclesAll(stats.NetAccess)
+	rows := []Row{
+		{"Computation", s.CyclesAll(stats.Comp) / mcyc, getOr(paper, "comp"), "Mcyc"},
+		{"Local Misses", (s.CyclesAll(stats.LocalMiss) + s.CyclesAll(stats.TLBMiss)) / mcyc, getOr(paper, "lm"), "Mcyc"},
+		{"Communication", comm / mcyc, getOr(paper, "comm"), "Mcyc"},
+		{"  Lib Comp", s.CyclesAll(stats.LibComp) / mcyc, getOr(paper, "lib"), "Mcyc"},
+		{"  Lib Misses", s.CyclesAll(stats.LibMiss) / mcyc, getOr(paper, "libm"), "Mcyc"},
+		{"  Network Access", s.CyclesAll(stats.NetAccess) / mcyc, getOr(paper, "net"), "Mcyc"},
+	}
+	if v, ok := paper["bar"]; ok {
+		rows = append(rows, Row{"Barriers", s.CyclesAll(stats.BarrierWait) / mcyc, v, "Mcyc"})
+	}
+	rows = append(rows, Row{"Total", s.TotalCyclesAll() / mcyc, getOr(paper, "total"), "Mcyc"})
+	return rows
+}
+
+// mpEventRows builds the per-processor event-count table for MP programs.
+func mpEventRows(s *stats.Summary, paper map[string]float64) []Row {
+	data := s.CountsAll(stats.CntBytesData)
+	ctl := s.CountsAll(stats.CntBytesControl)
+	cpb := 0.0
+	if data > 0 {
+		cpb = s.CyclesAll(stats.Comp) / data
+	}
+	return []Row{
+		{"Local Misses", s.CountsAll(stats.CntLocalMisses), getOr(paper, "lm"), "count"},
+		{"Channel Writes", s.CountsAll(stats.CntChannelWrites), getOr(paper, "cw"), "count"},
+		{"Active Messages", s.CountsAll(stats.CntActiveMessages), getOr(paper, "am"), "count"},
+		{"Bytes Transmitted", (data + ctl) / 1e6, getOr(paper, "bytes"), "MB"},
+		{"  Data", data / 1e6, getOr(paper, "data"), "MB"},
+		{"  Control", ctl / 1e6, getOr(paper, "ctl"), "MB"},
+		{"Comp Cycles / Data Byte", cpb, getOr(paper, "cpb"), "cyc/B"},
+	}
+}
+
+// smBreakdownRows builds the shared-memory time breakdown.
+func smBreakdownRows(s *stats.Summary, paper map[string]float64) []Row {
+	miss := s.CyclesAll(stats.SharedMiss) + s.CyclesAll(stats.LocalMiss) +
+		s.CyclesAll(stats.WriteFault) + s.CyclesAll(stats.TLBMiss)
+	sync := s.CyclesAll(stats.SyncComp) + s.CyclesAll(stats.SyncMiss) +
+		s.CyclesAll(stats.BarrierWait) + s.CyclesAll(stats.LockWait) +
+		s.CyclesAll(stats.ReductionWait) + s.CyclesAll(stats.StartupWait)
+	rows := []Row{
+		{"Computation", s.CyclesAll(stats.Comp) / mcyc, getOr(paper, "comp"), "Mcyc"},
+		{"Cache Misses", miss / mcyc, getOr(paper, "miss"), "Mcyc"},
+		{"Synchronization", sync / mcyc, getOr(paper, "sync"), "Mcyc"},
+	}
+	sub := []struct {
+		label string
+		cat   stats.Category
+		key   string
+	}{
+		{"  Reductions", stats.ReductionWait, "red"},
+		{"  Sync Comp", stats.SyncComp, "sc"},
+		{"  Sync Miss", stats.SyncMiss, "sm"},
+		{"  Locks", stats.LockWait, "locks"},
+		{"  Barriers", stats.BarrierWait, "bar"},
+		{"  Start-up Wait", stats.StartupWait, "startup"},
+	}
+	for _, sb := range sub {
+		if v, ok := paper[sb.key]; ok {
+			rows = append(rows, Row{sb.label, s.CyclesAll(sb.cat) / mcyc, v, "Mcyc"})
+		}
+	}
+	rows = append(rows, Row{"Total", s.TotalCyclesAll() / mcyc, getOr(paper, "total"), "Mcyc"})
+	return rows
+}
+
+// smEventRows builds the per-processor event-count table for SM programs.
+func smEventRows(s *stats.Summary, paper map[string]float64) []Row {
+	data := s.CountsAll(stats.CntBytesData)
+	ctl := s.CountsAll(stats.CntBytesControl)
+	cpb := 0.0
+	if data > 0 {
+		cpb = s.CyclesAll(stats.Comp) / data
+	}
+	shL := s.CountsAll(stats.CntSharedMissLocal)
+	shR := s.CountsAll(stats.CntSharedMissRemote)
+	return []Row{
+		{"Private Misses", s.CountsAll(stats.CntPrivateMisses) + s.CountsAll(stats.CntLocalMisses), getOr(paper, "priv"), "count"},
+		{"Shared Misses", shL + shR, getOr(paper, "shared"), "count"},
+		{"  Local", shL, getOr(paper, "shL"), "count"},
+		{"  Remote", shR, getOr(paper, "shR"), "count"},
+		{"Write Faults", s.CountsAll(stats.CntWriteFaults), getOr(paper, "wf"), "count"},
+		{"Bytes Transmitted", (data + ctl) / 1e6, getOr(paper, "bytes"), "MB"},
+		{"  Data", data / 1e6, getOr(paper, "data"), "MB"},
+		{"  Control", ctl / 1e6, getOr(paper, "ctl"), "MB"},
+		{"Comp Cycles / Data Byte", cpb, getOr(paper, "cpb"), "cyc/B"},
+	}
+}
