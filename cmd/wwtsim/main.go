@@ -8,6 +8,15 @@
 //	wwtsim -app mse|gauss|em3d|lcp|alcp -machine mp|sm
 //	       [-procs N] [-cache BYTES] [-shape flat|binary|lopsided]
 //	       [-policy rr|local] [-size N] [-iters N]
+//	       [-faults] [-droprate P] [-duprate P] [-corruptrate P]
+//	       [-jitter P] [-faultseed S] [-maxretries N]
+//
+// -faults enables deterministic fault injection on the message-passing
+// machine's network (drops, duplicates, corruption, delay jitter at the
+// given per-packet probabilities) and layers a reliable-delivery transport
+// under the active-message layer; its costs appear as the "Lib Retrans" row
+// and the retransmission/drop/duplicate counters. The same -faultseed
+// reproduces the same run bit-for-bit.
 package main
 
 import (
@@ -36,10 +45,35 @@ func main() {
 	policy := flag.String("policy", "rr", "gmalloc policy: rr|local")
 	size := flag.Int("size", 0, "problem size override (app-specific)")
 	iters := flag.Int("iters", 0, "iteration override")
+	faultsOn := flag.Bool("faults", false, "enable network fault injection (mp only)")
+	dropRate := flag.Float64("droprate", 0, "per-packet drop probability")
+	dupRate := flag.Float64("duprate", 0, "per-packet duplication probability")
+	corruptRate := flag.Float64("corruptrate", 0, "per-packet corruption probability")
+	jitter := flag.Float64("jitter", 0, "per-packet extra-delay probability")
+	faultSeed := flag.Uint64("faultseed", 1, "fault-injection RNG seed")
+	maxRetries := flag.Int("maxretries", 0, "transport retry budget override (0 = default)")
 	flag.Parse()
 
 	cfg := cost.Default(*procs)
 	cfg.CacheBytes = *cache
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"droprate", *dropRate}, {"duprate", *dupRate}, {"corruptrate", *corruptRate}, {"jitter", *jitter}} {
+		if r.v < 0 || r.v > 1 {
+			fatal("-%s %g out of range [0,1]", r.name, r.v)
+		}
+	}
+	if *faultsOn || *dropRate > 0 || *dupRate > 0 || *corruptRate > 0 || *jitter > 0 {
+		if *mach != "mp" {
+			fatal("fault injection models the message-passing network; use -machine mp")
+		}
+		cfg.Faults = &cost.FaultsConfig{
+			Seed: *faultSeed, DropRate: *dropRate, DupRate: *dupRate,
+			CorruptRate: *corruptRate, DelayRate: *jitter,
+			MaxRetries: *maxRetries,
+		}
+	}
 	var shape cmmd.Shape
 	switch *shapeStr {
 	case "flat":
@@ -133,7 +167,13 @@ func main() {
 	}
 
 	fmt.Printf("simulated %d procs in %v wall\n", *procs, time.Since(start).Round(time.Millisecond))
+	if res.Err != nil {
+		fmt.Printf("\nRUN ABORTED: %v\n(stats below cover the partial execution)\n", res.Err)
+	}
 	printBreakdown(res)
+	if res.Err != nil {
+		os.Exit(1)
+	}
 }
 
 func printBreakdown(res *machine.Result) {

@@ -7,10 +7,13 @@
 // All software overhead (composing a request, poll-and-dispatch) is charged
 // to the library-computation category, and cache misses taken inside
 // handlers are charged to library misses — the paper's "Lib Comp" and "Lib
-// Misses" rows.
+// Misses" rows. When the network injects faults, an optional
+// reliable-delivery transport (reliable.go) slots between requests and the
+// NI; its overhead is charged to the separate LibRetrans category.
 package am
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cost"
@@ -18,6 +21,12 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
+
+// ErrNoHandler reports a packet whose tag names no registered handler. On
+// the lossless machine this is a programmer error and dispatch panics; on a
+// faulty network (fault plan attached, e.g. a corrupted tag word) it is
+// returned as a typed error through Poll, Drain, and PollUntil.
+var ErrNoHandler = errors.New("am: no handler")
 
 // Handler processes a delivered active message on the receiving node. It
 // runs in library accounting mode; computation and memory traffic it
@@ -31,12 +40,17 @@ type AM struct {
 	Cfg *cost.Config
 
 	handlers []Handler
+	rel      *Reliable
 }
 
 // New creates the active-message layer over a network interface.
 func New(nif *ni.NI) *AM {
 	return &AM{NI: nif, P: nif.P, Cfg: nif.Cfg}
 }
+
+// Rel returns the reliable transport layered over this AM, or nil on the
+// seed's lossless configuration.
+func (a *AM) Rel() *Reliable { return a.rel }
 
 // Register installs a handler and returns its id. Handlers must be
 // registered in the same order on every node (SPMD style), so ids agree.
@@ -54,54 +68,117 @@ func (a *AM) Request(dst, handler int, args [4]uint64, dataBytes int, data []uin
 	p.Interact()
 	p.ChargeStall(stats.LibComp, a.Cfg.AMSendCycles)
 	p.Acct.Add(stats.CntActiveMessages, 1)
-	a.NI.Send(ni.Packet{Dst: dst, Tag: handler, Args: args,
+	a.SendPacket(ni.Packet{Dst: dst, Tag: handler, Args: args,
 		DataBytes: dataBytes, Data: data})
 }
 
-// Poll performs one poll: a status-register read and, if a packet is
-// available, a receive plus handler dispatch. It reports whether a packet
-// was handled.
-func (a *AM) Poll() bool {
-	if !a.NI.Status() {
-		return false
+// SendPacket injects a pre-built packet, through the reliable transport when
+// one is attached (the CMMD channel layer and the collectives stream data
+// packets directly, below the Request call path).
+func (a *AM) SendPacket(pkt ni.Packet) {
+	if a.rel != nil {
+		a.rel.send(pkt)
+		return
 	}
-	pkt := a.NI.Recv()
-	a.dispatch(pkt)
-	return true
+	a.NI.Send(pkt)
 }
 
-func (a *AM) dispatch(pkt ni.Packet) {
+// Poll performs one poll: a status-register read and, if a packet is
+// available, a receive plus handler dispatch, then transport progress
+// (retransmissions due). Progress runs after the receive so that an
+// acknowledgement already sitting in the input queue cancels a pending
+// timeout instead of triggering a spurious retransmission. It reports
+// whether a packet was handled. A dispatch failure on a faulty network
+// (e.g. no handler for a corrupted tag) is returned as a typed error; on
+// the lossless machine it panics instead.
+func (a *AM) Poll() (bool, error) {
+	if !a.NI.Status() {
+		if a.rel != nil {
+			a.rel.progress()
+		}
+		return false, nil
+	}
+	pkt, err := a.NI.TryRecv()
+	if err != nil {
+		// Status said a packet was there; hardware cannot lose it between
+		// the status read and the FIFO load.
+		panic(err)
+	}
+	derr := a.dispatch(pkt)
+	if a.rel != nil {
+		a.rel.progress()
+	}
+	return true, derr
+}
+
+func (a *AM) dispatch(pkt ni.Packet) error {
+	if a.rel != nil {
+		return a.rel.receive(pkt)
+	}
+	return a.dispatchInner(pkt)
+}
+
+// dispatchInner invokes the handler named by the packet tag, bypassing the
+// reliable transport (which calls it for packets that clear checksum and
+// sequence filtering).
+func (a *AM) dispatchInner(pkt ni.Packet) error {
 	if pkt.Tag < 0 || pkt.Tag >= len(a.handlers) {
-		panic(fmt.Sprintf("am: node %d: no handler %d", a.NI.Node, pkt.Tag))
+		err := fmt.Errorf("am: node %d: no handler for tag %d from node %d: %w",
+			a.NI.Node, pkt.Tag, pkt.Src, ErrNoHandler)
+		if !a.NI.Faulty() && !pkt.Corrupt {
+			// Lossless machine: only a program bug reaches here.
+			panic(err)
+		}
+		return err
 	}
 	p := a.P
 	p.ChargeStall(stats.LibComp, a.Cfg.AMDispatchCycles)
 	p.PushMode(stats.LibComp, stats.LibMiss, stats.CntLibMisses)
 	a.handlers[pkt.Tag](pkt)
 	p.PopMode()
+	return nil
 }
 
 // Drain handles every currently available packet and returns how many were
-// dispatched.
-func (a *AM) Drain() int {
+// dispatched, stopping at the first dispatch error.
+func (a *AM) Drain() (int, error) {
 	n := 0
-	for a.Poll() {
+	for {
+		handled, err := a.Poll()
+		if err != nil {
+			return n, err
+		}
+		if !handled {
+			return n, nil
+		}
 		n++
 	}
-	return n
 }
 
 // PollUntil polls the network, dispatching handlers, until cond() is true.
 // Time spent waiting with no packets available is charged to library
 // computation — this is how load-imbalance wait appears as "Lib Comp" in
-// the paper's message-passing breakdowns.
-func (a *AM) PollUntil(cond func() bool) {
+// the paper's message-passing breakdowns. With the reliable transport
+// attached, waits are bounded by the next retransmission deadline so a
+// dropped packet cannot park the processor forever.
+func (a *AM) PollUntil(cond func() bool) error {
 	p := a.P
 	p.Interact()
 	for !cond() {
-		if a.Poll() {
+		handled, err := a.Poll()
+		if err != nil {
+			return err
+		}
+		if handled {
 			continue
+		}
+		if a.rel != nil {
+			if dl, ok := a.rel.nextDeadline(); ok {
+				a.NI.WaitPacketUntil(stats.LibComp, dl)
+				continue
+			}
 		}
 		a.NI.WaitPacket(stats.LibComp)
 	}
+	return nil
 }

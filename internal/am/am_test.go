@@ -50,7 +50,11 @@ func TestDrainDispatchesEverythingAvailable(t *testing.T) {
 			a.Register(func(pkt ni.Packet) { got = append(got, pkt.Args[0]) })
 			// Wait until all five are queued, then drain in one call.
 			p.SpinUntil(stats.LibComp, func() bool { return a.NI.Pending() == 5 })
-			if n := a.Drain(); n != 5 {
+			n, err := a.Drain()
+			if err != nil {
+				t.Errorf("drain error: %v", err)
+			}
+			if n != 5 {
 				t.Errorf("drain handled %d, want 5", n)
 			}
 		})
@@ -71,9 +75,11 @@ func TestDispatchChargesLibraryCategories(t *testing.T) {
 		},
 		func(p *sim.Proc, a *am.AM) {
 			a.Register(func(ni.Packet) { p.Compute(37) })
-			a.PollUntil(func() bool {
+			if err := a.PollUntil(func() bool {
 				return p.Acct.Cycles(stats.PhaseDefault, stats.LibComp) > 0
-			})
+			}); err != nil {
+				t.Errorf("poll error: %v", err)
+			}
 			libComp = p.Acct.Cycles(stats.PhaseDefault, stats.LibComp)
 		})
 	eng.Run()
@@ -99,7 +105,7 @@ func TestUnknownHandlerPanics(t *testing.T) {
 					panicked = true
 				}
 			}()
-			a.PollUntil(func() bool { return panicked })
+			_ = a.PollUntil(func() bool { return panicked })
 		})
 	eng.Run()
 	if !panicked {

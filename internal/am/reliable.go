@@ -1,0 +1,352 @@
+package am
+
+// The reliable-delivery transport: a sliding-window channel layer between
+// active messages and the (now possibly faulty) network interface, in the
+// style of a classic ARQ link protocol.
+//
+//   - Every packet to a peer carries a per-peer sequence number (seq 0 marks
+//     raw, unsequenced control packets such as acks).
+//   - The receiver delivers packets to handlers strictly in per-peer
+//     sequence order, buffering out-of-order arrivals in a bounded window,
+//     filtering duplicates, and discarding corrupt packets (modeled
+//     checksum). Each accepted or duplicate packet is answered with a
+//     cumulative acknowledgement.
+//   - The sender keeps unacknowledged packets in a window (sends block when
+//     it fills), retransmits the oldest on timeout with exponential backoff,
+//     and gives up after a bounded retry budget — aborting the run with a
+//     structured faults.StarvationError naming the peer and the oldest
+//     unacked sequence number, instead of deadlocking the machine.
+//
+// All software overhead lives in the LibRetrans accounting category so the
+// cost of reliability appears as its own row next to the paper's Lib Comp /
+// Lib Misses taxonomy. Retransmitted packets pass through ni.Send again, so
+// their wire traffic lands in the ordinary message/byte counters exactly
+// like first transmissions.
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/faults"
+	"repro/internal/ni"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Group tracks every node's transport so shutdown can quiesce the whole
+// machine: a node may only stop servicing the network once no peer has
+// unacknowledged packets left, or a peer's final retransmissions would
+// starve.
+type Group struct {
+	members []*Reliable
+}
+
+// NewGroup creates an empty transport group.
+func NewGroup() *Group { return &Group{} }
+
+// Quiet reports whether no member has unacknowledged packets outstanding.
+func (g *Group) Quiet() bool {
+	for _, r := range g.members {
+		if r.outstanding > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// relPkt is one unacknowledged packet awaiting a cumulative ack.
+type relPkt struct {
+	seq   uint64
+	pkt   ni.Packet
+	first sim.Time // first injection time, for starvation reports
+}
+
+// relPeer is the per-peer transport state, both directions.
+type relPeer struct {
+	// Sender side: packets we sent to the peer.
+	nextSeq  uint64
+	unacked  []relPkt
+	deadline sim.Time // retransmit deadline for the oldest unacked
+	rto      int64    // current timeout (exponential backoff)
+	retries  int      // consecutive timeouts without ack progress
+
+	// Receiver side: packets the peer sends us.
+	cum uint64               // highest in-order sequence delivered
+	buf map[uint64]ni.Packet // out-of-order reorder/dedup window
+}
+
+// Reliable is one node's reliable-delivery transport.
+type Reliable struct {
+	a   *AM
+	fc  cost.FaultsConfig // defaulted tuning (RTO, window, retry budget)
+	grp *Group
+
+	hAck  int
+	peers []*relPeer
+
+	// outstanding is the total unacked packet count across peers, kept so
+	// the per-poll progress scan is O(1) when nothing is pending.
+	outstanding int
+}
+
+// NewReliable layers the transport over a, for a machine of nodes
+// processors, and registers its ack handler (so it must be constructed at
+// the same point on every node, SPMD style). fc must already have its
+// tuning defaulted (cost.FaultsConfig.WithDefaults).
+func NewReliable(a *AM, nodes int, fc cost.FaultsConfig, grp *Group) *Reliable {
+	r := &Reliable{a: a, fc: fc, grp: grp, peers: make([]*relPeer, nodes)}
+	r.hAck = a.Register(r.onAck)
+	a.rel = r
+	if grp != nil {
+		grp.members = append(grp.members, r)
+	}
+	a.P.SetDiagnostic(r.Diagnose)
+	return r
+}
+
+func (r *Reliable) peer(id int) *relPeer {
+	pr := r.peers[id]
+	if pr == nil {
+		pr = &relPeer{buf: make(map[uint64]ni.Packet)}
+		r.peers[id] = pr
+	}
+	return pr
+}
+
+// send assigns the next per-peer sequence number and injects the packet,
+// blocking (while servicing the network) when the send window is full.
+func (r *Reliable) send(pkt ni.Packet) {
+	pr := r.peer(pkt.Dst)
+	for len(pr.unacked) >= r.fc.Window {
+		r.step(stats.LibRetrans)
+	}
+	p := r.a.P
+	p.ChargeStall(stats.LibRetrans, r.a.Cfg.RelSeqCycles)
+	pr.nextSeq++
+	pkt.Seq = pr.nextSeq
+	pr.unacked = append(pr.unacked, relPkt{seq: pkt.Seq, pkt: pkt, first: p.Clock()})
+	r.outstanding++
+	if len(pr.unacked) == 1 {
+		pr.rto = r.fc.RTO
+		pr.retries = 0
+		pr.deadline = p.Clock() + pr.rto
+	}
+	r.a.NI.Send(pkt)
+}
+
+// progress retransmits any packet whose timeout has expired. Called from
+// every Poll, so any code that services the network drives recovery. If a
+// peer's retry budget is exhausted the run is aborted with a structured
+// starvation report (this does not return).
+func (r *Reliable) progress() {
+	if r.outstanding == 0 {
+		return
+	}
+	p := r.a.P
+	now := p.Clock()
+	for id, pr := range r.peers {
+		if pr == nil || len(pr.unacked) == 0 || now < pr.deadline {
+			continue
+		}
+		if pr.retries >= r.fc.MaxRetries {
+			oldest := pr.unacked[0]
+			p.Fail(&faults.StarvationError{
+				Node: r.a.NI.Node, Peer: id,
+				OldestUnacked: oldest.seq, Retries: pr.retries,
+				FirstSent: oldest.first, Now: now,
+			})
+		}
+		pr.retries++
+		pr.rto *= 2
+		if pr.rto > r.fc.RTOMax {
+			pr.rto = r.fc.RTOMax
+		}
+		// Retransmit the oldest unacked packet only: the receiver's reorder
+		// window holds everything that did arrive, so the cumulative ack
+		// jumps past it once the hole is plugged.
+		p.ChargeStall(stats.LibRetrans, r.a.Cfg.RelRetransCycles)
+		p.Acct.Add(stats.CntRetransmissions, 1)
+		r.a.NI.Send(pr.unacked[0].pkt)
+		pr.deadline = p.Clock() + pr.rto
+	}
+}
+
+// nextDeadline returns the earliest retransmit deadline over all peers with
+// unacked packets, and whether one exists. Waiters use it to bound blocking.
+func (r *Reliable) nextDeadline() (sim.Time, bool) {
+	if r.outstanding == 0 {
+		return 0, false
+	}
+	var dl sim.Time
+	found := false
+	for _, pr := range r.peers {
+		if pr == nil || len(pr.unacked) == 0 {
+			continue
+		}
+		if !found || pr.deadline < dl {
+			dl, found = pr.deadline, true
+		}
+	}
+	return dl, found
+}
+
+// receive is the transport's receiver half, called for every packet popped
+// from the NI: checksum, duplicate filtering, in-order release, cumulative
+// acks. Raw packets (seq 0: acks, lossless-era control) dispatch directly.
+func (r *Reliable) receive(pkt ni.Packet) error {
+	p := r.a.P
+	if pkt.Corrupt {
+		// Modeled checksum failure: discard silently; if the packet was
+		// sequenced the sender's timeout recovers it.
+		p.ChargeStall(stats.LibRetrans, r.a.Cfg.RelSeqCycles)
+		p.Acct.Add(stats.CntCorrupt, 1)
+		return nil
+	}
+	if pkt.Seq == 0 {
+		return r.a.dispatchInner(pkt)
+	}
+	pr := r.peer(pkt.Src)
+	p.ChargeStall(stats.LibRetrans, r.a.Cfg.RelSeqCycles)
+	switch seq := pkt.Seq; {
+	case seq <= pr.cum:
+		// Already delivered: a network duplicate, or a retransmission
+		// after our ack was lost. Re-ack so the sender stops resending.
+		p.Acct.Add(stats.CntDuplicates, 1)
+		r.sendAck(pkt.Src, pr.cum)
+		return nil
+	case func() bool { _, dup := pr.buf[seq]; return dup }():
+		p.Acct.Add(stats.CntDuplicates, 1)
+		return nil
+	default:
+		pr.buf[seq] = pkt
+	}
+	// Release the in-order prefix to the handlers.
+	var err error
+	for {
+		nxt, ok := pr.buf[pr.cum+1]
+		if !ok {
+			break
+		}
+		delete(pr.buf, pr.cum+1)
+		pr.cum++
+		if e := r.a.dispatchInner(nxt); e != nil && err == nil {
+			err = e
+		}
+	}
+	r.sendAck(pkt.Src, pr.cum)
+	return err
+}
+
+// sendAck transmits a cumulative acknowledgement (a raw 20-byte control
+// packet; its bytes count as protocol control traffic).
+func (r *Reliable) sendAck(dst int, cum uint64) {
+	p := r.a.P
+	p.ChargeStall(stats.LibRetrans, r.a.Cfg.RelAckCycles)
+	p.Acct.Add(stats.CntAcks, 1)
+	r.a.NI.Send(ni.Packet{Dst: dst, Tag: r.hAck, Args: [4]uint64{cum}})
+}
+
+// onAck is the ack handler on the sending side: drop acknowledged packets
+// from the window and reset the backoff on progress.
+func (r *Reliable) onAck(pkt ni.Packet) {
+	pr := r.peer(pkt.Src)
+	cum := pkt.Args[0]
+	p := r.a.P
+	p.ChargeStall(stats.LibRetrans, r.a.Cfg.RelAckCycles)
+	n := 0
+	for n < len(pr.unacked) && pr.unacked[n].seq <= cum {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	pr.unacked = pr.unacked[n:]
+	r.outstanding -= n
+	pr.rto = r.fc.RTO
+	pr.retries = 0
+	pr.deadline = p.Clock() + pr.rto
+}
+
+// step services the network once: a poll (which also drives retransmission)
+// and, if nothing was handled, a wait bounded by the next transport
+// deadline, charged to cat. Errors abort the run (they only arise on the
+// faulty path, where continuing would corrupt the target program).
+func (r *Reliable) step(cat stats.Category) {
+	handled, err := r.a.Poll()
+	if err != nil {
+		r.a.P.Fail(err)
+	}
+	if handled {
+		return
+	}
+	if dl, ok := r.nextDeadline(); ok {
+		r.a.NI.WaitPacketUntil(cat, dl)
+		return
+	}
+	r.a.NI.WaitPacket(cat)
+}
+
+// Service performs one non-blocking poll step; the barrier's poll-mode wait
+// calls it each quantum so acks and retransmissions progress while a node
+// waits at a barrier.
+func (r *Reliable) Service() {
+	if _, err := r.a.Poll(); err != nil {
+		r.a.P.Fail(err)
+	}
+}
+
+// Flush services the network until every packet this node sent has been
+// acknowledged. CMMD's barrier calls it on entry so that no node can park
+// in the hardware barrier with undelivered data (the message-passing
+// analogue of a memory fence).
+func (r *Reliable) Flush() {
+	for r.outstanding > 0 {
+		r.step(stats.LibRetrans)
+	}
+}
+
+// Shutdown quiesces the node at the end of its program: flush our own
+// sends, then keep servicing the network until the whole group has nothing
+// outstanding — a peer may still be retransmitting data whose ack was lost,
+// and it can only stop once we re-ack. Idle waiting here is charged to
+// LibComp like any other end-of-program load imbalance.
+func (r *Reliable) Shutdown() {
+	for {
+		r.Flush()
+		if r.grp == nil || r.grp.Quiet() {
+			return
+		}
+		handled, err := r.a.Poll()
+		if err != nil {
+			r.a.P.Fail(err)
+		}
+		if handled {
+			continue
+		}
+		// Nothing pending locally: sleep one timeout interval (or until a
+		// packet arrives) and re-check the group.
+		r.a.NI.WaitPacketUntil(stats.LibComp, r.a.P.Clock()+r.fc.RTO)
+	}
+}
+
+// Diagnose renders the transport state for engine stall reports: per-peer
+// oldest unacked sequence numbers and receive cursors.
+func (r *Reliable) Diagnose() string {
+	s := ""
+	for id, pr := range r.peers {
+		if pr == nil {
+			continue
+		}
+		if len(pr.unacked) > 0 {
+			s += fmt.Sprintf("[->%d unacked=%d oldest=%d retries=%d] ",
+				id, len(pr.unacked), pr.unacked[0].seq, pr.retries)
+		}
+		if len(pr.buf) > 0 {
+			s += fmt.Sprintf("[<-%d cum=%d buffered=%d] ", id, pr.cum, len(pr.buf))
+		}
+	}
+	if s == "" {
+		return ""
+	}
+	return "transport: " + s
+}

@@ -181,12 +181,14 @@ func runMP(cfg cost.Config, shape cmmd.Shape, par Params, async bool) *Output {
 	})
 
 	// Reconstruct the global solution from the authoritative owner
-	// segments and validate complementarity.
-	zfinal := make([]float64, par.N)
-	for p := 0; p < procs; p++ {
-		copy(zfinal[p*rpp:(p+1)*rpp], segs[p])
+	// segments and validate complementarity (skipped on an aborted run).
+	if out.Res.Err == nil {
+		zfinal := make([]float64, par.N)
+		for p := 0; p < procs; p++ {
+			copy(zfinal[p*rpp:(p+1)*rpp], segs[p])
+		}
+		out.Z = zfinal
+		out.Residual = pr.validate(zfinal)
 	}
-	out.Z = zfinal
-	out.Residual = pr.validate(zfinal)
 	return out
 }

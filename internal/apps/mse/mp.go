@@ -167,7 +167,9 @@ func RunMP(cfg cost.Config, shape cmmd.Shape, par Params) *Output {
 		copy(out.X[me*epp:(me+1)*epp], pub[par.Iters])
 	})
 
-	ref := pr.reference(procs, par.Iters)
-	out.validate(pr, ref)
+	if out.Res.Err == nil {
+		ref := pr.reference(procs, par.Iters)
+		out.validate(pr, ref)
+	}
 	return out
 }

@@ -278,7 +278,7 @@ func (c *Comm) Reduce(root int, val float64, idx int64, op ReduceOp) (float64, i
 	} else {
 		st.val, st.idx, st.has = val, idx, true
 	}
-	ep.AM.PollUntil(func() bool { return st.n >= len(children) })
+	ep.pollUntil(func() bool { return st.n >= len(children) })
 	v, i := st.val, st.idx
 	delete(c.red, seq)
 	if parent >= 0 {
@@ -328,7 +328,7 @@ func (c *Comm) bcastPair(root int, val float64, idx int64, dataBytes int) (float
 	vr := c.vrank(ep.Self, root)
 	parent, children := c.topology(vr, ep.Nodes)
 	if parent >= 0 {
-		ep.AM.PollUntil(func() bool {
+		ep.pollUntil(func() bool {
 			st := c.bc[seq]
 			return st != nil && st.has
 		})
@@ -419,7 +419,7 @@ func (c *Comm) BcastVecF(root int, vec *memsim.FVec, lo, hi int) {
 			words := slab[a-off : b-off]
 			for _, dst := range dsts {
 				p.ChargeStall(stats.LibComp, ep.Cfg.CMMDPerPacket)
-				ep.AM.NI.Send(ni.Packet{
+				ep.AM.SendPacket(ni.Packet{
 					Dst: dst, Tag: c.hVec,
 					Args:      [4]uint64{uint64(seq), uint64(a), uint64(n)},
 					Data:      words,
@@ -438,7 +438,7 @@ func (c *Comm) BcastVecF(root int, vec *memsim.FVec, lo, hi int) {
 	// vec and forwarding complete packets immediately.
 	done := 0
 	for done < n {
-		ep.AM.PollUntil(func() bool {
+		ep.pollUntil(func() bool {
 			st := c.vec[seq]
 			return st != nil && st.got > done
 		})

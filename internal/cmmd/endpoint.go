@@ -91,12 +91,38 @@ func NewEndpoint(self, nodes int, a *am.AM, mem *memsim.Mem, bar *sim.Barrier) *
 	return ep
 }
 
-// Barrier enters the hardware barrier (CMMD_sync_with_nodes).
-func (ep *Endpoint) Barrier() { ep.Bar.Wait(ep.P, stats.BarrierWait) }
+// Barrier enters the hardware barrier (CMMD_sync_with_nodes). On a faulty
+// network the library first flushes the reliable transport (no node may park
+// in the barrier with undelivered data) and then waits in polling mode, so
+// acknowledgements and retransmissions for peers still progress — a blocked
+// barrier wait on a lossy network is a machine-wide deadlock waiting to
+// happen.
+func (ep *Endpoint) Barrier() {
+	if rel := ep.AM.Rel(); rel != nil {
+		rel.Flush()
+		ep.Bar.WaitService(ep.P, stats.BarrierWait, rel.Service)
+		return
+	}
+	ep.Bar.Wait(ep.P, stats.BarrierWait)
+}
 
 // Poll lets the library make progress; applications with asynchronous
-// servicing responsibilities call it inside compute loops.
-func (ep *Endpoint) Poll() bool { return ep.AM.Poll() }
+// servicing responsibilities call it inside compute loops. Dispatch errors
+// (possible only on a faulty network) abort the run with a structured error.
+func (ep *Endpoint) Poll() bool {
+	handled, err := ep.AM.Poll()
+	if err != nil {
+		ep.P.Fail(err)
+	}
+	return handled
+}
+
+// pollUntil wraps AM.PollUntil, aborting the run on dispatch errors.
+func (ep *Endpoint) pollUntil(cond func() bool) {
+	if err := ep.AM.PollUntil(cond); err != nil {
+		ep.P.Fail(err)
+	}
+}
 
 // --- Channels ---
 
@@ -185,7 +211,7 @@ func (ep *Endpoint) channelWrite(dst, chID int, words []uint64, srcAddr uint64, 
 		// The library loads the payload from memory, then injects it.
 		ep.Mem.ReadRange(srcAddr+uint64(off*elemBytes), (end-off)*elemBytes)
 		p.ChargeStall(stats.LibComp, ep.Cfg.CMMDPerPacket)
-		ep.AM.NI.Send(ni.Packet{
+		ep.AM.SendPacket(ni.Packet{
 			Dst: dst, Tag: ep.hData,
 			Args:      [4]uint64{uint64(chID), uint64(off)},
 			Data:      words[off:end],
@@ -196,7 +222,7 @@ func (ep *Endpoint) channelWrite(dst, chID int, words []uint64, srcAddr uint64, 
 
 // WaitChannel polls until the channel has completed at least n transfers.
 func (ep *Endpoint) WaitChannel(ch *RecvChannel, n int64) {
-	ep.AM.PollUntil(func() bool { return ch.completions >= n })
+	ep.pollUntil(func() bool { return ch.completions >= n })
 }
 
 // --- High-level send/receive (RTS/CTS handshake) ---
@@ -257,7 +283,7 @@ func (ep *Endpoint) SendBlock(dst, tag int, vec *memsim.FVec, lo, hi int) {
 	p.ChargeStall(stats.LibComp, ep.Cfg.CMMDCallCycles)
 	ep.AM.Request(dst, ep.hRTS, [4]uint64{uint64(tag), uint64(hi - lo)}, 0, nil)
 	p.PopMode()
-	ep.AM.PollUntil(func() bool { return len(ep.ctsGrants[dst]) > 0 })
+	ep.pollUntil(func() bool { return len(ep.ctsGrants[dst]) > 0 })
 	grants := ep.ctsGrants[dst]
 	chID := grants[0]
 	ep.ctsGrants[dst] = grants[1:]

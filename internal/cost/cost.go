@@ -77,6 +77,78 @@ type Config struct {
 	DirBlockSend      int64 // + if a cache block is sent (8)
 	SMMsgBytes        int   // shared-memory message size (40: block + control)
 	SMMsgControlBytes int   // control portion of a block-carrying message (8)
+
+	// --- Fault injection and reliable transport (extension; not in the
+	// paper, whose CM-5 network is lossless) ---
+
+	// Faults, when non-nil, enables deterministic network fault injection
+	// on the message-passing machine and layers the reliable-delivery
+	// transport over active messages. Nil (the default) leaves the seed's
+	// perfect-network fast path untouched.
+	Faults *FaultsConfig
+
+	// Software costs of the reliable transport, charged to the LibRetrans
+	// category. Only incurred when Faults is non-nil.
+	RelSeqCycles     int64 // sender sequence/window bookkeeping per packet
+	RelAckCycles     int64 // composing or processing one cumulative ack
+	RelRetransCycles int64 // software overhead per retransmitted packet
+}
+
+// FaultsConfig is the uniform fault-injection specification: one rate set
+// applied to every link for the whole run, plus reliable-transport tuning.
+// Richer per-link, per-epoch schedules are built directly with
+// faults.NewPlan; machine construction converts this spec into a
+// single-epoch wildcard plan.
+type FaultsConfig struct {
+	// Seed drives the fault plan's deterministic RNG. Identical seeds (and
+	// configurations) reproduce identical fault sequences bit-for-bit.
+	Seed uint64
+
+	// DropRate, DupRate, CorruptRate, and DelayRate are per-packet
+	// probabilities in [0,1) that an injected packet is dropped, delivered
+	// twice, delivered with a flipped payload bit, or delayed by extra
+	// jitter.
+	DropRate, DupRate, CorruptRate, DelayRate float64
+
+	// MaxDelay bounds the extra delivery jitter in cycles (uniform in
+	// [1, MaxDelay]; default 4x the network latency).
+	MaxDelay int64
+
+	// RTO is the transport's initial retransmission timeout in cycles
+	// (default 12x the network latency); it backs off exponentially to
+	// RTOMax (default 64x RTO) and resets when a cumulative ack makes
+	// progress.
+	RTO, RTOMax int64
+
+	// MaxRetries bounds consecutive timeouts without ack progress for any
+	// one peer; exhausting it aborts the run with a structured starvation
+	// report instead of deadlocking (default 16).
+	MaxRetries int
+
+	// Window is the go-back-N send window and receiver dedup/reorder
+	// window, in packets per peer (default 64).
+	Window int
+}
+
+// WithDefaults returns a copy of f with unset tuning fields filled from the
+// machine's network latency.
+func (f FaultsConfig) WithDefaults(netLatency int64) FaultsConfig {
+	if f.MaxDelay <= 0 {
+		f.MaxDelay = 4 * netLatency
+	}
+	if f.RTO <= 0 {
+		f.RTO = 12 * netLatency
+	}
+	if f.RTOMax <= 0 {
+		f.RTOMax = 64 * f.RTO
+	}
+	if f.MaxRetries <= 0 {
+		f.MaxRetries = 16
+	}
+	if f.Window <= 0 {
+		f.Window = 64
+	}
+	return f
 }
 
 // Default returns the paper's machine configuration (Tables 1-3) for the
@@ -126,6 +198,10 @@ func Default(procs int) Config {
 		DirBlockSend:      8,
 		SMMsgBytes:        40,
 		SMMsgControlBytes: 8,
+
+		RelSeqCycles:     8,
+		RelAckCycles:     12,
+		RelRetransCycles: 30,
 	}
 }
 
@@ -153,6 +229,20 @@ func (c *Config) Validate() error {
 			c.PacketPayload, c.PacketBytes)
 	case c.NetLatency <= 0:
 		return errf("network latency must be positive")
+	}
+	if f := c.Faults; f != nil {
+		for _, r := range []struct {
+			name string
+			v    float64
+		}{{"drop", f.DropRate}, {"dup", f.DupRate},
+			{"corrupt", f.CorruptRate}, {"delay", f.DelayRate}} {
+			if r.v < 0 || r.v > 1 {
+				return errf("fault %s rate %g out of range [0,1]", r.name, r.v)
+			}
+		}
+		if f.MaxDelay < 0 || f.RTO < 0 || f.RTOMax < 0 || f.MaxRetries < 0 || f.Window < 0 {
+			return errf("fault tuning fields must be non-negative")
+		}
 	}
 	return nil
 }

@@ -1,0 +1,176 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func drawSequence(p *Plan, n int) []Decision {
+	out := make([]Decision, n)
+	for i := range out {
+		out[i] = p.Decide(int64(i)*100, i%4, (i+1)%4)
+	}
+	return out
+}
+
+func TestSameSeedSameDecisions(t *testing.T) {
+	r := Rates{Drop: 0.1, Dup: 0.05, Corrupt: 0.02, Delay: 0.2, MaxDelay: 400}
+	a := drawSequence(Uniform(42, r), 500)
+	b := drawSequence(Uniform(42, r), 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDifferentSeedDifferentDecisions(t *testing.T) {
+	r := Rates{Drop: 0.1, Dup: 0.05, Corrupt: 0.02, Delay: 0.2, MaxDelay: 400}
+	a := drawSequence(Uniform(42, r), 500)
+	b := drawSequence(Uniform(43, r), 500)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("500 decisions identical across different seeds")
+	}
+}
+
+func TestZeroRatesNeverFault(t *testing.T) {
+	p := Uniform(1, Rates{})
+	for _, d := range drawSequence(p, 1000) {
+		if d.Drop || d.Dup || d.Corrupt || d.Delay != 0 {
+			t.Fatalf("fault decided under zero rates: %+v", d)
+		}
+	}
+}
+
+func TestRatesAreApproximatelyHonored(t *testing.T) {
+	const n = 20000
+	p := Uniform(7, Rates{Drop: 0.1})
+	drops := 0
+	for _, d := range drawSequence(p, n) {
+		if d.Drop {
+			drops++
+		}
+	}
+	// 3-sigma band around the binomial mean (2000 ± ~127).
+	if drops < 1800 || drops > 2200 {
+		t.Errorf("drops = %d of %d at rate 0.1", drops, n)
+	}
+}
+
+func TestLinkRuleFirstMatchWins(t *testing.T) {
+	p := NewPlan(1, []Epoch{{
+		Start: 0,
+		Rules: []LinkRule{
+			{Src: 0, Dst: 1, Rates: Rates{Drop: 1}},
+			{Src: -1, Dst: -1, Rates: Rates{}},
+		},
+	}})
+	if d := p.Decide(0, 0, 1); !d.Drop {
+		t.Error("specific 0->1 rule should drop")
+	}
+	if d := p.Decide(0, 1, 0); d.Drop {
+		t.Error("wildcard rule should not drop 1->0")
+	}
+	if d := p.Decide(0, 2, 3); d.Drop {
+		t.Error("wildcard rule should not drop 2->3")
+	}
+}
+
+func TestWildcardSrcMatchesAnySource(t *testing.T) {
+	p := NewPlan(1, []Epoch{{
+		Rules: []LinkRule{{Src: -1, Dst: 2, Rates: Rates{Drop: 1}}},
+	}})
+	for src := 0; src < 4; src++ {
+		if d := p.Decide(0, src, 2); !d.Drop {
+			t.Errorf("src %d -> 2 should match the wildcard-src rule", src)
+		}
+	}
+	if d := p.Decide(0, 0, 3); d.Drop {
+		t.Error("0 -> 3 matches no rule and must pass cleanly")
+	}
+}
+
+func TestEpochScheduleSwitchesRates(t *testing.T) {
+	p := NewPlan(1, []Epoch{
+		{Start: 0, Rules: []LinkRule{{Src: -1, Dst: -1, Rates: Rates{Drop: 1}}}},
+		{Start: 5000, Rules: []LinkRule{{Src: -1, Dst: -1, Rates: Rates{}}}},
+	})
+	if d := p.Decide(4999, 0, 1); !d.Drop {
+		t.Error("pre-switch packet should drop")
+	}
+	if d := p.Decide(5000, 0, 1); d.Drop {
+		t.Error("post-switch packet should pass")
+	}
+}
+
+func TestEpochsSortedByStart(t *testing.T) {
+	// Epochs given out of order must still apply chronologically.
+	p := NewPlan(1, []Epoch{
+		{Start: 5000, Rules: []LinkRule{{Src: -1, Dst: -1, Rates: Rates{}}}},
+		{Start: 0, Rules: []LinkRule{{Src: -1, Dst: -1, Rates: Rates{Drop: 1}}}},
+	})
+	if d := p.Decide(100, 0, 1); !d.Drop {
+		t.Error("first epoch (start 0) should drop")
+	}
+	if d := p.Decide(6000, 0, 1); d.Drop {
+		t.Error("second epoch (start 5000) should pass")
+	}
+}
+
+func TestDelayBounded(t *testing.T) {
+	p := Uniform(3, Rates{Delay: 1, MaxDelay: 250})
+	sawPositive := false
+	for _, d := range drawSequence(p, 1000) {
+		if d.Delay < 0 || d.Delay > 250 {
+			t.Fatalf("delay %d outside [0, 250]", d.Delay)
+		}
+		if d.Delay > 0 {
+			sawPositive = true
+		}
+	}
+	if !sawPositive {
+		t.Error("delay rate 1 produced no positive delays")
+	}
+}
+
+func TestFromConfigMatchesUniform(t *testing.T) {
+	fc := cost.FaultsConfig{Seed: 9, DropRate: 0.2, DupRate: 0.1,
+		CorruptRate: 0.05, DelayRate: 0.3}
+	fc = fc.WithDefaults(100)
+	a := drawSequence(FromConfig(fc), 300)
+	b := drawSequence(Uniform(9, Rates{Drop: 0.2, Dup: 0.1, Corrupt: 0.05,
+		Delay: 0.3, MaxDelay: fc.MaxDelay}), 300)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStarvationErrorMessage(t *testing.T) {
+	err := &StarvationError{Node: 3, Peer: 1, OldestUnacked: 42, Retries: 16,
+		FirstSent: 1000, Now: 99000}
+	msg := err.Error()
+	for _, want := range []string{"node 3", "peer 1", "seq 42", "16 retries"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestDecisionCountAdvances(t *testing.T) {
+	p := Uniform(1, Rates{Drop: 0.5})
+	drawSequence(p, 10)
+	if p.Decisions != 10 {
+		t.Errorf("Decisions = %d, want 10", p.Decisions)
+	}
+}

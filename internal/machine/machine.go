@@ -11,6 +11,7 @@ import (
 	"repro/internal/cmmd"
 	"repro/internal/coherence"
 	"repro/internal/cost"
+	"repro/internal/faults"
 	"repro/internal/memsim"
 	"repro/internal/ni"
 	"repro/internal/parmacs"
@@ -27,6 +28,10 @@ type Result struct {
 	Elapsed sim.Time
 	// Accts exposes the raw per-processor accounting.
 	Accts []*stats.Acct
+	// Err is non-nil when the run aborted (e.g. a transport retry budget
+	// exhausted under fault injection produced a faults.StarvationError);
+	// the stats then cover the run up to the abort, not a complete program.
+	Err error
 }
 
 func seedFor(i int) uint64 { return 0xC0FFEE + uint64(i)*0x9E3779B97F4A7C15 }
@@ -96,14 +101,34 @@ func NewMP(cfg cost.Config, shape cmmd.Shape, program func(n *MPNode)) *MPMachin
 	bar := sim.NewBarrier(eng, c.Procs, c.BarrierLatency)
 	space := memsim.NewAddrSpace(c.Procs, c.BlockBytes)
 
+	// Fault injection (MP only: shared-memory coherence traffic does not
+	// traverse this network model). A fault plan makes the network lossy, so
+	// every node also gets a reliable transport under its AM layer, plus an
+	// end-of-program quiesce so no node exits while a peer still retransmits.
+	var fc cost.FaultsConfig
+	var grp *am.Group
+	if c.Faults != nil {
+		fc = c.Faults.WithDefaults(c.NetLatency)
+		net.Faults = faults.FromConfig(fc)
+		grp = am.NewGroup()
+	}
+
 	m := &MPMachine{Eng: eng, Net: net}
 	m.Nodes = make([]*MPNode, c.Procs)
 	for i := 0; i < c.Procs; i++ {
 		i := i
-		p := eng.AddProc(func(*sim.Proc) { program(m.Nodes[i]) })
+		p := eng.AddProc(func(*sim.Proc) {
+			program(m.Nodes[i])
+			if rel := m.Nodes[i].AM.Rel(); rel != nil {
+				rel.Shutdown()
+			}
+		})
 		mem := memsim.NewMem(p, &c, seedFor(i))
 		nif := net.Attach(p)
 		a := am.New(nif)
+		if grp != nil {
+			am.NewReliable(a, c.Procs, fc, grp)
+		}
 		ep := cmmd.NewEndpoint(i, c.Procs, a, mem, bar)
 		comm := cmmd.NewComm(ep, shape)
 		m.Nodes[i] = &MPNode{
@@ -114,10 +139,13 @@ func NewMP(cfg cost.Config, shape cmmd.Shape, program func(n *MPNode)) *MPMachin
 	return m
 }
 
-// Run executes the machine to completion and summarizes.
+// Run executes the machine to completion and summarizes. A non-nil
+// Result.Err reports an aborted run (stats cover the partial execution).
 func (m *MPMachine) Run() *Result {
-	m.Eng.Run()
-	return summarize(m.Eng)
+	err := m.Eng.Run()
+	res := summarize(m.Eng)
+	res.Err = err
+	return res
 }
 
 // RunMP builds and runs a message-passing machine in one step.
@@ -205,8 +233,10 @@ func NewSM(cfg cost.Config, policy parmacs.Policy, program func(n *SMNode)) *SMM
 
 // Run executes the machine to completion and summarizes.
 func (m *SMMachine) Run() *Result {
-	m.Eng.Run()
-	return summarize(m.Eng)
+	err := m.Eng.Run()
+	res := summarize(m.Eng)
+	res.Err = err
+	return res
 }
 
 // RunSM builds and runs a shared-memory machine in one step.

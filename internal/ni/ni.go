@@ -3,17 +3,28 @@
 // Table 2): incoming and outgoing FIFOs for packets of up to 20 bytes
 // (a tag word plus 16 payload bytes), a status register indicating whether a
 // packet is queued, and explicit processor loads/stores to move data — there
-// is no DMA. Sends always succeed (the network is contention-free, as in the
-// paper), and delivery takes the constant network latency.
+// is no DMA. By default sends always succeed (the network is
+// contention-free and lossless, as in the paper) and delivery takes the
+// constant network latency; attaching a faults.Plan makes the network drop,
+// duplicate, delay, or corrupt packets deterministically, the substrate for
+// the degradation experiments the paper's machines cannot express.
 package ni
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cost"
+	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
+
+// ErrNoPacket is returned by TryRecv when no packet has arrived. On the
+// lossless machine receiving without a prior Status check is a programmer
+// error (Recv panics, as real hardware would wedge); on a faulty network the
+// typed error lets the transport treat it as a normal race.
+var ErrNoPacket = errors.New("ni: no packet available")
 
 // Packet is one 20-byte network packet: a tag/handler word plus four payload
 // words. DataBytes records how much of the payload is application data (the
@@ -33,6 +44,15 @@ type Packet struct {
 
 	// Arrive is the packet's arrival time at the destination NI.
 	Arrive sim.Time
+
+	// Seq is the reliable transport's sequence number; zero marks an
+	// unsequenced (raw) packet. On the wire it rides in the tag word's
+	// spare bits — the packet is still 20 bytes.
+	Seq uint64
+
+	// Corrupt marks a packet whose payload the network flipped a bit of.
+	// The reliable transport detects it (modeled checksum) and discards.
+	Corrupt bool
 }
 
 // Network is the interconnect: constant latency, no contention, infinite
@@ -42,10 +62,19 @@ type Network struct {
 	Eng *sim.Engine
 	Cfg *cost.Config
 
+	// Faults, when non-nil, is consulted on every injection to decide the
+	// packet's fate. Nil is the paper's perfect network, bit-identical to
+	// the seed behavior.
+	Faults *faults.Plan
+
 	nis []*NI
 
-	// Injected and Delivered count packets for conservation tests.
-	Injected, Delivered int64
+	// Packet-conservation counters. On a perfect network
+	// Injected == Delivered; with faults the invariant generalizes to
+	// Injected + Duplicated == Delivered + Dropped (every copy the network
+	// created or destroyed is accounted). Corrupted counts packets
+	// delivered with a flipped bit (they are also Delivered).
+	Injected, Delivered, Dropped, Duplicated, Corrupted int64
 }
 
 // NewNetwork creates the interconnect.
@@ -98,6 +127,13 @@ func (ni *NI) qpop() Packet {
 // Pending returns the number of queued incoming packets (for tests).
 func (ni *NI) Pending() int { return ni.qlen() }
 
+// Nodes returns the number of interfaces attached to the network so far
+// (the machine size once construction is complete).
+func (ni *NI) Nodes() int { return len(ni.net.nis) }
+
+// Faulty reports whether a fault plan is attached to the network.
+func (ni *NI) Faulty() bool { return ni.net.Faults != nil }
+
 // Status reads the NI status word (5 cycles, charged to network access) and
 // reports whether an incoming packet is available at the current clock.
 func (ni *NI) Status() bool {
@@ -129,27 +165,79 @@ func (ni *NI) Send(pkt Packet) {
 	pkt.Arrive = p.Clock() + ni.Cfg.NetLatency
 	ni.net.Injected++
 	dstNI := ni.net.nis[dst]
-	ni.net.Eng.Schedule(pkt.Arrive, func() {
-		dstNI.inq = append(dstNI.inq, pkt)
-		ni.net.Delivered++
-		if dstNI.waiter {
-			dstNI.waiter = false
-			dstNI.P.Wake(pkt.Arrive, nil)
+
+	if plan := ni.net.Faults; plan != nil {
+		d := plan.Decide(p.Clock(), ni.Node, dst)
+		if d.Drop {
+			ni.net.Dropped++
+			p.Acct.Add(stats.CntDropped, 1)
+			return
+		}
+		if d.Corrupt {
+			ni.net.Corrupted++
+			pkt.Corrupt = true
+			corrupt(&pkt, d.CorruptBit)
+		}
+		pkt.Arrive += d.Delay
+		if d.Dup {
+			ni.net.Duplicated++
+			dup := pkt
+			dup.Arrive = p.Clock() + ni.Cfg.NetLatency + d.DupDelay
+			ni.net.deliver(dstNI, dup)
+		}
+	}
+	ni.net.deliver(dstNI, pkt)
+}
+
+// deliver schedules pkt's arrival at dst.
+func (n *Network) deliver(dst *NI, pkt Packet) {
+	n.Eng.Schedule(pkt.Arrive, func() {
+		dst.inq = append(dst.inq, pkt)
+		n.Delivered++
+		if dst.waiter {
+			dst.waiter = false
+			dst.P.Wake(pkt.Arrive, nil)
 		}
 	})
+}
+
+// corrupt flips one bit of the 20-byte wire image: bits 0..31 hit the tag
+// word, the rest the payload words. Args is a value copy, so the sender's
+// buffers are untouched; Data (a view of sender memory) is never mutated —
+// a flipped Data bit is represented by the Corrupt flag alone, which is what
+// the transport's checksum sees.
+func corrupt(pkt *Packet, bit int) {
+	if bit < 32 {
+		pkt.Tag ^= 1 << (bit % 31)
+		return
+	}
+	w := (bit - 32) / 32
+	if w < len(pkt.Args) {
+		pkt.Args[w] ^= 1 << ((bit - 32) % 32)
+	}
 }
 
 // Recv pops the head packet (15 cycles of loads). The caller must have
 // observed Status() true; receiving from an empty or not-yet-arrived queue
 // panics, as it would wedge real hardware.
 func (ni *NI) Recv() Packet {
+	pkt, err := ni.TryRecv()
+	if err != nil {
+		panic(fmt.Sprintf("ni: node %d recv with no packet available", ni.Node))
+	}
+	return pkt
+}
+
+// TryRecv pops the head packet if one has arrived, or returns ErrNoPacket.
+// The receive cost is only charged when a packet is actually popped.
+func (ni *NI) TryRecv() (Packet, error) {
 	p := ni.P
 	p.Interact()
 	if ni.qlen() == 0 || ni.qhead().Arrive > p.Clock() {
-		panic(fmt.Sprintf("ni: node %d recv with no packet available", ni.Node))
+		return Packet{}, fmt.Errorf("ni: node %d: %w", ni.Node, ErrNoPacket)
 	}
 	p.ChargeStall(stats.NetAccess, ni.Cfg.NIRecvCycles)
-	return ni.qpop()
+	return ni.qpop(), nil
 }
 
 // WaitPacket stalls (charging cat) until a packet is available. An empty
@@ -167,5 +255,40 @@ func (ni *NI) WaitPacket(cat stats.Category) {
 		}
 		ni.waiter = true
 		p.Block(cat, "awaiting packet")
+	}
+}
+
+// WaitPacketUntil stalls (charging cat) until a packet is available or the
+// local clock reaches deadline, whichever is first. The reliable transport
+// uses it so a node waiting on a lossy network wakes in time to retransmit
+// instead of blocking forever on a packet that was dropped. A wake event is
+// scheduled at the deadline; spurious wakes are harmless (callers re-check).
+func (ni *NI) WaitPacketUntil(cat stats.Category, deadline sim.Time) {
+	p := ni.P
+	p.Interact()
+	for {
+		if ni.qlen() > 0 {
+			a := ni.qhead().Arrive
+			if a <= p.Clock() {
+				return
+			}
+			if a > deadline {
+				p.WaitUntil(deadline, cat)
+				return
+			}
+			p.WaitUntil(a, cat)
+			return
+		}
+		if p.Clock() >= deadline {
+			return
+		}
+		ni.waiter = true
+		ni.net.Eng.Schedule(deadline, func() {
+			if ni.waiter {
+				ni.waiter = false
+				ni.P.Wake(deadline, nil)
+			}
+		})
+		p.Block(cat, "awaiting packet or transport deadline")
 	}
 }

@@ -1,9 +1,11 @@
 package ni
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/cost"
+	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -128,4 +130,136 @@ func TestOversizedPayloadPanics(t *testing.T) {
 	net.Attach(procs[0])
 	net.Attach(procs[1])
 	eng.Run()
+}
+
+func TestTryRecvReturnsTypedError(t *testing.T) {
+	cfg := cost.Default(2)
+	eng := sim.NewEngine(cfg.NetLatency)
+	net := NewNetwork(eng, &cfg)
+	procs := make([]*sim.Proc, 2)
+	nis := make([]*NI, 2)
+	procs[0] = eng.AddProc(func(p *sim.Proc) {
+		if _, err := nis[0].TryRecv(); !errors.Is(err, ErrNoPacket) {
+			t.Errorf("empty-queue TryRecv = %v, want ErrNoPacket", err)
+		}
+	})
+	procs[1] = eng.AddProc(func(p *sim.Proc) {})
+	nis[0] = net.Attach(procs[0])
+	nis[1] = net.Attach(procs[1])
+	eng.Run()
+}
+
+func TestFaultConservationInvariant(t *testing.T) {
+	// Fire a few thousand raw packets through a lossy, duplicating network
+	// and check the generalized packet-conservation identity:
+	// Injected + Duplicated == Delivered + Dropped.
+	cfg := cost.Default(2)
+	eng := sim.NewEngine(cfg.NetLatency)
+	net := NewNetwork(eng, &cfg)
+	net.Faults = faults.Uniform(99, faults.Rates{Drop: 0.2, Dup: 0.15, Delay: 0.3, MaxDelay: 700})
+	const n = 3000
+	received := 0
+	procs := make([]*sim.Proc, 2)
+	nis := make([]*NI, 2)
+	procs[0] = eng.AddProc(func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			nis[0].Send(Packet{Dst: 1, Tag: i % 7})
+		}
+	})
+	procs[1] = eng.AddProc(func(p *sim.Proc) {
+		// Drain until the sender is done and nothing more can arrive.
+		for {
+			if nis[1].Status() {
+				nis[1].Recv()
+				received++
+				continue
+			}
+			if done, _ := procs[0].Blocked(); !done && p.Clock() > int64(n)*30+5000 {
+				return
+			}
+			p.SpinQuantum(stats.LibComp)
+			if p.Clock() > int64(n)*40+20000 {
+				return
+			}
+		}
+	})
+	nis[0] = net.Attach(procs[0])
+	nis[1] = net.Attach(procs[1])
+	eng.Run()
+	if net.Injected != n {
+		t.Errorf("injected %d, want %d", net.Injected, n)
+	}
+	if net.Dropped == 0 || net.Duplicated == 0 {
+		t.Errorf("fault plan inert: dropped %d duplicated %d", net.Dropped, net.Duplicated)
+	}
+	if net.Injected+net.Duplicated != net.Delivered+net.Dropped {
+		t.Errorf("conservation violated: inj %d + dup %d != del %d + drop %d",
+			net.Injected, net.Duplicated, net.Delivered, net.Dropped)
+	}
+	if int64(received) != net.Delivered {
+		t.Errorf("receiver popped %d packets, network delivered %d", received, net.Delivered)
+	}
+}
+
+func TestInputQueueCompactionUnderJitteredBacklog(t *testing.T) {
+	// Drive the input queue through its head-shift compaction branch
+	// (inqHead > 1024 with a still-half-full tail) under delayed, reordered
+	// arrivals: a large backlog accumulates while the receiver sleeps, then
+	// is consumed while stragglers keep arriving.
+	cfg := cost.Default(2)
+	eng := sim.NewEngine(cfg.NetLatency)
+	net := NewNetwork(eng, &cfg)
+	net.Faults = faults.Uniform(4, faults.Rates{Delay: 0.5, MaxDelay: 40000})
+	const n = 4000
+	var compacted bool
+	var got []int
+	procs := make([]*sim.Proc, 2)
+	nis := make([]*NI, 2)
+	procs[0] = eng.AddProc(func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			nis[0].Send(Packet{Dst: 1, Tag: i})
+		}
+	})
+	procs[1] = eng.AddProc(func(p *sim.Proc) {
+		// Sleep until most of the stream has queued up, so draining walks
+		// inqHead deep into the buffer while stragglers keep appending.
+		p.SpinUntil(stats.LibComp, func() bool { return nis[1].Pending() >= n-n/8 })
+		for len(got) < n {
+			nis[1].WaitPacket(stats.LibComp)
+			got = append(got, nis[1].Recv().Tag)
+			// The compaction branch resets inqHead while the queue still
+			// holds packets; observing head < pops proves it fired.
+			if nis[1].inqHead == 0 && nis[1].qlen() > 0 && len(got) > 1024 {
+				compacted = true
+			}
+		}
+	})
+	nis[0] = net.Attach(procs[0])
+	nis[1] = net.Attach(procs[1])
+	eng.Run()
+	if len(got) != n {
+		t.Fatalf("received %d packets, want %d", len(got), n)
+	}
+	// Arrival order is event-time order, not send order, under jitter; the
+	// queue must deliver every tag exactly once with no corruption.
+	seen := make([]bool, n)
+	reordered := false
+	for i, tag := range got {
+		if tag < 0 || tag >= n || seen[tag] {
+			t.Fatalf("corrupt or duplicated tag %d at pop %d", tag, i)
+		}
+		seen[tag] = true
+		if tag != i {
+			reordered = true
+		}
+	}
+	if !reordered {
+		t.Error("jitter plan produced no reordering; test is not exercising the path")
+	}
+	if !compacted {
+		t.Error("compaction branch never fired; raise the backlog")
+	}
+	if net.Injected != n || net.Delivered != int64(n) {
+		t.Errorf("conservation: injected %d delivered %d, want %d", net.Injected, net.Delivered, n)
+	}
 }

@@ -15,8 +15,10 @@ type Barrier struct {
 	latency Time
 
 	waiting []*Proc
+	polling int // participants spin-waiting instead of blocking
 	maxArr  Time
 	epoch   int64 // completed barrier episodes, for tests and sanity checks
+	release Time  // release time of the most recently completed episode
 }
 
 // NewBarrier creates a barrier for n participants with the given release
@@ -45,18 +47,50 @@ func (b *Barrier) Wait(p *Proc, cat stats.Category) {
 	if p.clock > b.maxArr {
 		b.maxArr = p.clock
 	}
-	if len(b.waiting)+1 < b.n {
+	if len(b.waiting)+b.polling+1 < b.n {
 		b.waiting = append(b.waiting, p)
 		p.Block(cat, "barrier")
 		return
 	}
-	// Last arrival: release everyone.
+	b.complete(p, cat)
+}
+
+// WaitService enters the barrier like Wait, but keeps the processor runnable
+// while waiting, invoking service once per quantum. Reliable-transport runs
+// use it so acknowledgements and retransmissions progress while a node sits
+// in a barrier — on a lossy network a blocked barrier wait can deadlock the
+// whole machine (a peer may be waiting for this node to re-ack data whose
+// acknowledgement was lost). The stall is charged to cat, as in Wait.
+func (b *Barrier) WaitService(p *Proc, cat stats.Category, service func()) {
+	p.Interact()
+	if p.clock > b.maxArr {
+		b.maxArr = p.clock
+	}
+	if len(b.waiting)+b.polling+1 == b.n {
+		b.complete(p, cat)
+		return
+	}
+	b.polling++
+	my := b.epoch
+	for b.epoch == my {
+		if service != nil {
+			service()
+		}
+		p.SpinQuantum(cat)
+	}
+	p.WaitUntil(b.release, cat)
+}
+
+// complete is the last arrival's path: release every waiter.
+func (b *Barrier) complete(p *Proc, cat stats.Category) {
 	release := b.maxArr + b.latency
 	for _, q := range b.waiting {
 		q.Wake(release, nil)
 	}
 	b.waiting = b.waiting[:0]
+	b.polling = 0
 	b.maxArr = 0
+	b.release = release
 	b.epoch++
 	p.WaitUntil(release, cat)
 }

@@ -54,6 +54,11 @@ type Engine struct {
 	// stalled time.
 	MaxTime Time
 
+	// aborted, when non-nil, is the structured error that ended the run
+	// early (e.g. the reliable transport's retry budget was exhausted).
+	// Remaining processors are unwound cleanly instead of deadlocking.
+	aborted error
+
 	// Trace, when non-nil, receives a line per engine decision. Used by
 	// tests; nil in normal runs.
 	Trace func(format string, args ...any)
@@ -108,13 +113,21 @@ func (e *Engine) AddProc(fn func(p *Proc)) *Proc {
 func (e *Engine) Procs() []*Proc { return e.procs }
 
 // Run executes the simulation until every processor's body has returned and
-// no events remain. It panics on deadlock (all processors blocked with no
-// pending events) with a description of each processor's state.
-func (e *Engine) Run() {
+// no events remain, returning nil. If a processor aborts the run (see
+// Abort), the remaining processors are unwound and Run returns the abort
+// error — a structured failure report instead of a deadlock panic. It still
+// panics on true deadlock (all processors blocked with no pending events and
+// no abort raised) with a description and diagnostics of each processor's
+// state, a programmer error on a perfect network.
+func (e *Engine) Run() error {
 	for _, p := range e.procs {
 		p.start()
 	}
 	for e.finished < len(e.procs) {
+		if e.aborted != nil {
+			e.unwind()
+			return e.aborted
+		}
 		if e.MaxTime > 0 && e.now > e.MaxTime {
 			e.overtime()
 		}
@@ -146,6 +159,11 @@ func (e *Engine) Run() {
 			e.now = e.qEnd
 			continue
 		}
+		if e.aborted != nil {
+			// An event handler (e.g. a watchdog) aborted mid-quantum; let
+			// the loop top unwind instead of misreporting a deadlock.
+			continue
+		}
 		next := e.nextInteresting()
 		if next < 0 {
 			e.deadlock()
@@ -156,12 +174,44 @@ func (e *Engine) Run() {
 		// Align down to the quantum grid so event-phase windows stay stable.
 		e.now = next - (next % e.Quantum)
 	}
+	// The last live processor may have been the one that aborted; its
+	// unwind ends the loop without passing the check at the top.
+	if e.aborted != nil {
+		return e.aborted
+	}
 	// Drain any trailing events (e.g. in-flight acknowledgements) so event
 	// conservation properties hold for tests.
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*Event)
 		e.now = ev.At
 		ev.Fn()
+	}
+	return nil
+}
+
+// Abort requests that the run stop with err: at its next scheduling point
+// the engine unwinds every live processor and Run returns err. The first
+// abort wins; later calls are ignored. Callable from a processor body or an
+// event handler.
+func (e *Engine) Abort(err error) {
+	if e.aborted == nil {
+		e.aborted = err
+	}
+}
+
+// Aborted returns the error the run was aborted with, if any.
+func (e *Engine) Aborted() error { return e.aborted }
+
+// unwind poisons and resumes every live processor so its goroutine exits
+// (via the procHalt panic recovered in start), leaving no coroutine parked.
+func (e *Engine) unwind() {
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
+		p.poisoned = true
+		p.blocked = false
+		e.dispatch(p)
 	}
 }
 
@@ -185,21 +235,28 @@ func (e *Engine) nextInteresting() Time {
 }
 
 func (e *Engine) overtime() {
-	msg := fmt.Sprintf("sim: exceeded MaxTime %d\n", e.MaxTime)
-	for _, p := range e.procs {
-		msg += fmt.Sprintf("  proc %d: clock=%d done=%v blocked=%v reason=%q\n",
-			p.ID, p.clock, p.done, p.blocked, p.blockReason)
-	}
-	panic(msg)
+	panic(fmt.Sprintf("sim: exceeded MaxTime %d\n%s", e.MaxTime, e.procStates()))
 }
 
 func (e *Engine) deadlock() {
-	msg := "sim: deadlock — all processors blocked and no events pending\n"
+	panic("sim: deadlock — all processors blocked and no events pending\n" + e.procStates())
+}
+
+// procStates renders every processor's scheduling state plus any diagnostic
+// its libraries registered (the progress watchdog's report: a starved node's
+// transport diagnostic names the peer and oldest unacked sequence number).
+func (e *Engine) procStates() string {
+	msg := ""
 	for _, p := range e.procs {
 		msg += fmt.Sprintf("  proc %d: clock=%d done=%v blocked=%v reason=%q\n",
 			p.ID, p.clock, p.done, p.blocked, p.blockReason)
+		if p.diag != nil {
+			if d := p.diag(); d != "" {
+				msg += "    " + d + "\n"
+			}
+		}
 	}
-	panic(msg)
+	return msg
 }
 
 // dispatch hands control to p until it yields.

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -298,5 +300,119 @@ func TestWaitUntilNoBackwardTime(t *testing.T) {
 	e.Run()
 	if c := p.Acct.Cycles(stats.PhaseDefault, stats.BarrierWait); c != 300 {
 		t.Errorf("wait charged %d, want 300", c)
+	}
+}
+
+func TestFailAbortsRunWithStructuredError(t *testing.T) {
+	e := NewEngine(100)
+	sentinel := errors.New("transport starved")
+	var after bool
+	e.AddProc(func(p *Proc) {
+		p.Compute(50)
+		p.Fail(sentinel)
+		after = true // Fail must not return
+	})
+	// A second processor parked in Block must be unwound, not leaked or
+	// reported as a deadlock.
+	e.AddProc(func(p *Proc) {
+		p.Block(stats.LibComp, "waiting forever")
+	})
+	err := e.Run()
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Run returned %v, want the Fail error", err)
+	}
+	if after {
+		t.Error("Fail returned to the processor body")
+	}
+	if e.Aborted() == nil {
+		t.Error("Aborted() should report the error")
+	}
+}
+
+func TestAbortFirstErrorWins(t *testing.T) {
+	e := NewEngine(100)
+	first := errors.New("first")
+	second := errors.New("second")
+	e.AddProc(func(p *Proc) { p.Fail(first) })
+	e.AddProc(func(p *Proc) {
+		p.Compute(500)
+		p.Interact()
+		p.Fail(second)
+	})
+	if err := e.Run(); !errors.Is(err, first) {
+		t.Errorf("Run returned %v, want the first abort", err)
+	}
+}
+
+func TestAbortFromEventHandlerUnwindsProcs(t *testing.T) {
+	e := NewEngine(100)
+	sentinel := errors.New("watchdog fired")
+	e.AddProc(func(p *Proc) {
+		p.Block(stats.LibComp, "awaiting a packet that was dropped")
+	})
+	e.Schedule(1000, func() { e.Abort(sentinel) })
+	if err := e.Run(); !errors.Is(err, sentinel) {
+		t.Errorf("Run returned %v, want the watchdog error", err)
+	}
+}
+
+func TestRunReturnsNilOnCleanCompletion(t *testing.T) {
+	e := NewEngine(100)
+	e.AddProc(func(p *Proc) { p.Compute(10) })
+	if err := e.Run(); err != nil {
+		t.Errorf("Run returned %v, want nil", err)
+	}
+}
+
+func TestDiagnosticAppearsInDeadlockReport(t *testing.T) {
+	e := NewEngine(100)
+	e.AddProc(func(p *Proc) {
+		p.SetDiagnostic(func() string { return "transport: [->1 unacked=3 oldest=7]" })
+		p.Block(stats.LibComp, "barrier")
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected a deadlock panic")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "oldest=7") {
+			t.Errorf("deadlock report missing library diagnostic:\n%s", msg)
+		}
+		if !strings.Contains(msg, "barrier") {
+			t.Errorf("deadlock report missing block reason:\n%s", msg)
+		}
+	}()
+	e.Run()
+}
+
+func TestBarrierWaitServicePolls(t *testing.T) {
+	e := NewEngine(100)
+	b := NewBarrier(e, 2, 100)
+	serviced := 0
+	var releaseEarly, releaseLate Time
+	e.AddProc(func(p *Proc) {
+		b.WaitService(p, stats.BarrierWait, func() { serviced++ })
+		releaseEarly = p.Clock()
+	})
+	e.AddProc(func(p *Proc) {
+		p.Compute(1000)
+		b.Wait(p, stats.BarrierWait)
+		releaseLate = p.Clock()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if serviced == 0 {
+		t.Error("service callback never ran while waiting")
+	}
+	if releaseEarly != releaseLate {
+		t.Errorf("release times diverge: %d vs %d", releaseEarly, releaseLate)
+	}
+	if releaseEarly != 1100 {
+		t.Errorf("released at %d, want 1100 (last arrival 1000 + latency 100)", releaseEarly)
+	}
+	if b.Epochs() != 1 {
+		t.Errorf("epochs = %d, want 1", b.Epochs())
 	}
 }

@@ -27,11 +27,13 @@ type Proc struct {
 
 	done        bool
 	blocked     bool
+	poisoned    bool // engine aborting: unwind at the next resume
 	blockReason string
 	blockStart  Time
 	blockCat    stats.Category
 	wakeAt      Time
 	wakeData    any
+	diag        func() string // optional library diagnostic for stall reports
 
 	// Accounting modes. Library and synchronization code switch these so
 	// that computation and cache misses are charged to the right category
@@ -59,14 +61,29 @@ func (p *Proc) Engine() *Engine { return p.eng }
 // Clock returns the processor's local virtual time.
 func (p *Proc) Clock() Time { return p.clock }
 
+// procHalt is the sentinel panic used to unwind a processor's goroutine when
+// the engine aborts the run; start's deferred recover absorbs it so the
+// goroutine exits cleanly instead of leaking parked on its resume channel.
+type procHalt struct{}
+
 func (p *Proc) start() {
 	p.compCat = stats.Comp
 	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, halt := r.(procHalt); !halt {
+					panic(r)
+				}
+			}
+			p.done = true
+			p.eng.finished++
+			p.yield <- struct{}{}
+		}()
 		<-p.resume
+		if p.poisoned {
+			panic(procHalt{})
+		}
 		p.body(p)
-		p.done = true
-		p.eng.finished++
-		p.yield <- struct{}{}
 	}()
 }
 
@@ -74,7 +91,23 @@ func (p *Proc) start() {
 func (p *Proc) yieldToEngine() {
 	p.yield <- struct{}{}
 	<-p.resume
+	if p.poisoned {
+		panic(procHalt{})
+	}
 }
+
+// Fail aborts the whole run with err on behalf of this processor: the engine
+// stops scheduling, unwinds every processor, and Run returns err. Fail does
+// not return. Libraries use it to surface structured failures (e.g. a
+// transport retry budget exhausted) instead of panicking or deadlocking.
+func (p *Proc) Fail(err error) {
+	p.eng.Abort(err)
+	panic(procHalt{})
+}
+
+// SetDiagnostic registers fn to render this processor's library-level state
+// (e.g. unacked transport sequence numbers) in engine stall reports.
+func (p *Proc) SetDiagnostic(fn func() string) { p.diag = fn }
 
 // Compute charges cycles of computation at the current computation category
 // (application computation by default; library computation inside

@@ -58,6 +58,14 @@ const (
 	// ReductionWait is time in shared-memory software reductions
 	// (reported separately for Gauss-SM).
 	ReductionWait
+	// LibRetrans is software overhead of the reliable-delivery transport on
+	// a faulty network: sequence/acknowledgement bookkeeping, duplicate
+	// filtering, and timeout-driven retransmission. It extends the paper's
+	// taxonomy (the CM-5 network was lossless, so the paper has no such
+	// row); in the paper's terms it is extra Lib Comp, reported separately
+	// so degradation experiments can isolate it. Always zero with fault
+	// injection disabled.
+	LibRetrans
 	// NumCategories is the number of categories; it is not itself a
 	// category.
 	NumCategories
@@ -66,7 +74,7 @@ const (
 var categoryNames = [NumCategories]string{
 	"Computation", "Local Misses", "Lib Comp", "Lib Misses", "Network Access",
 	"Barriers", "Start-up Wait", "Shared Misses", "Write Faults", "TLB Misses",
-	"Locks", "Sync Comp", "Sync Miss", "Reductions",
+	"Locks", "Sync Comp", "Sync Miss", "Reductions", "Lib Retrans",
 }
 
 // String returns the paper's name for the category.
@@ -105,6 +113,21 @@ const (
 	CntWriteFaults
 	// CntTLBMisses counts TLB refills.
 	CntTLBMisses
+	// CntRetransmissions counts packets this node retransmitted after a
+	// reliable-transport timeout.
+	CntRetransmissions
+	// CntDropped counts this node's injected packets that the fault plan
+	// dropped in the network.
+	CntDropped
+	// CntDuplicates counts duplicate packets this node's receiver-side
+	// dedup window discarded (network duplication or retransmission after
+	// a lost acknowledgement).
+	CntDuplicates
+	// CntCorrupt counts packets this node discarded on a failed payload
+	// check (fault-injected corruption).
+	CntCorrupt
+	// CntAcks counts reliable-transport acknowledgement packets sent.
+	CntAcks
 	// NumCounts is the number of counts; it is not itself a count.
 	NumCounts
 )
@@ -113,7 +136,8 @@ var countNames = [NumCounts]string{
 	"Local Misses", "Lib Misses", "Messages Sent", "Channel Writes",
 	"Active Messages", "Bytes Data", "Bytes Control", "Private Misses",
 	"Shared Misses (Local)", "Shared Misses (Remote)", "Write Faults",
-	"TLB Misses",
+	"TLB Misses", "Retransmissions", "Dropped Packets", "Duplicates Filtered",
+	"Corrupt Discarded", "Acks Sent",
 }
 
 // String returns the paper's name for the count.
