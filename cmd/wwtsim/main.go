@@ -10,6 +10,8 @@
 //	       [-policy rr|local] [-size N] [-iters N]
 //	       [-faults] [-droprate P] [-duprate P] [-corruptrate P]
 //	       [-jitter P] [-faultseed S] [-maxretries N]
+//	       [-smcheck] [-smfaults] [-nackrate P] [-reorderrate P]
+//	       [-watchdog CYCLES]
 //
 // -faults enables deterministic fault injection on the message-passing
 // machine's network (drops, duplicates, corruption, delay jitter at the
@@ -17,6 +19,17 @@
 // under the active-message layer; its costs appear as the "Lib Retrans" row
 // and the retransmission/drop/duplicate counters. The same -faultseed
 // reproduces the same run bit-for-bit.
+//
+// The shared-memory machine has the symmetric robustness controls:
+// -smcheck arms the runtime coherence invariant checker (single writer,
+// directory/cache agreement, message conservation; violations abort with a
+// forensic report). -smfaults enables deterministic fault injection on
+// coherence traffic — the home directory NACKs requests at -nackrate and
+// control messages are reordered past later traffic at -reorderrate — with
+// NACK retry/backoff costs on the "Dir Retry" row and the NACK/retry
+// counters; -faultseed seeds it. -watchdog N aborts with a stall report if
+// requests stay outstanding for N cycles with no transaction granting
+// (simulated livelock).
 package main
 
 import (
@@ -52,6 +65,11 @@ func main() {
 	jitter := flag.Float64("jitter", 0, "per-packet extra-delay probability")
 	faultSeed := flag.Uint64("faultseed", 1, "fault-injection RNG seed")
 	maxRetries := flag.Int("maxretries", 0, "transport retry budget override (0 = default)")
+	smCheck := flag.Bool("smcheck", false, "arm the coherence invariant checker (sm only)")
+	smFaults := flag.Bool("smfaults", false, "enable coherence-traffic fault injection (sm only)")
+	nackRate := flag.Float64("nackrate", 0, "per-request directory NACK probability")
+	reorderRate := flag.Float64("reorderrate", 0, "per-message coherence reorder probability")
+	watchdog := flag.Int64("watchdog", 0, "coherence stall watchdog window in cycles (sm only, 0 = off)")
 	flag.Parse()
 
 	cfg := cost.Default(*procs)
@@ -59,7 +77,8 @@ func main() {
 	for _, r := range []struct {
 		name string
 		v    float64
-	}{{"droprate", *dropRate}, {"duprate", *dupRate}, {"corruptrate", *corruptRate}, {"jitter", *jitter}} {
+	}{{"droprate", *dropRate}, {"duprate", *dupRate}, {"corruptrate", *corruptRate},
+		{"jitter", *jitter}, {"nackrate", *nackRate}, {"reorderrate", *reorderRate}} {
 		if r.v < 0 || r.v > 1 {
 			fatal("-%s %g out of range [0,1]", r.name, r.v)
 		}
@@ -72,6 +91,18 @@ func main() {
 			Seed: *faultSeed, DropRate: *dropRate, DupRate: *dupRate,
 			CorruptRate: *corruptRate, DelayRate: *jitter,
 			MaxRetries: *maxRetries,
+		}
+	}
+	if *smCheck || *smFaults || *nackRate > 0 || *reorderRate > 0 || *watchdog > 0 {
+		if *mach != "sm" {
+			fatal("coherence robustness controls model the shared-memory machine; use -machine sm")
+		}
+	}
+	cfg.SMCheck = *smCheck
+	cfg.SMWatchdog = *watchdog
+	if *smFaults || *nackRate > 0 || *reorderRate > 0 {
+		cfg.SMFaults = &cost.SMFaultsConfig{
+			Seed: *faultSeed, NACKRate: *nackRate, ReorderRate: *reorderRate,
 		}
 	}
 	var shape cmmd.Shape

@@ -122,7 +122,9 @@ func runSM(cfg cost.Config, policy parmacs.Policy, par Params, flush bool) *Outp
 		out.H[me] = append([]float64(nil), sh.hVal[me].V...)
 	})
 
-	out.validate(g, par.Iters)
+	if out.Res.Err == nil {
+		out.validate(g, par.Iters)
+	}
 	return out
 }
 

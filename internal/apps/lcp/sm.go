@@ -189,8 +189,10 @@ func runSM(cfg cost.Config, par Params, async bool) *Output {
 		}
 	})
 
-	zfinal := append([]float64(nil), zg.V...)
-	out.Z = zfinal
-	out.Residual = pr.validate(zfinal)
+	if out.Res.Err == nil {
+		zfinal := append([]float64(nil), zg.V...)
+		out.Z = zfinal
+		out.Residual = pr.validate(zfinal)
+	}
 	return out
 }

@@ -104,7 +104,9 @@ func RunSM(cfg cost.Config, par Params) *Output {
 		}
 	})
 
-	ref := pr.reference(procs, par.Iters)
-	out.validate(pr, ref)
+	if out.Res.Err == nil {
+		ref := pr.reference(procs, par.Iters)
+		out.validate(pr, ref)
+	}
 	return out
 }

@@ -99,6 +99,36 @@ type entry struct {
 	// can steal a granted line before the owner's store completes, forcing
 	// an endless upgrade-downgrade orbit.
 	settleUntil sim.Time
+
+	// hist is a bounded ring of the block's recent protocol transitions,
+	// recorded only when forensics are on (checker, watchdog, or fault
+	// injection armed); invariant violations and stall reports replay it.
+	hist  [histLen]histRec
+	histN int
+}
+
+// histLen bounds the per-entry transition ring: enough to replay a full
+// transaction (request, invalidation round, acks, grant) without growing
+// memory per block.
+const histLen = 8
+
+type histRec struct {
+	at sim.Time
+	ev string
+}
+
+// history renders the ring oldest-first.
+func (e *entry) history() []string {
+	var out []string
+	start := 0
+	if e.histN > histLen {
+		start = e.histN - histLen
+	}
+	for i := start; i < e.histN; i++ {
+		r := e.hist[i%histLen]
+		out = append(out, fmt.Sprintf("@%d %s", r.at, r.ev))
+	}
+	return out
 }
 
 type pendingReq struct {
@@ -128,24 +158,76 @@ func (pr *Protocol) entryOf(home int, block uint64) *entry {
 	return e
 }
 
-// dirHandle processes a request arriving at home at time arrive. If the
-// block has a transaction in flight the request queues behind it; otherwise
-// it waits for the directory server to be free (contention) and is serviced.
+// dirHandle is the home's network-facing entry point for a request arriving
+// at time arrive. Fault injection is decided here, exactly once per arrival:
+// the home may NACK the request outright, or its service may be deferred by
+// injected delivery delay. Internal requeues (settle windows, waiters behind
+// a completed transaction) go straight to dirServe and draw no new faults.
 func (pr *Protocol) dirHandle(home int, r request, arrive sim.Time) {
+	if pr.check != nil {
+		pr.check.reqsIn[home]++
+	}
+	if pr.ctrl != nil {
+		d := pr.ctrl.DecideRequest(arrive, r.reqID, home)
+		if d.NACK {
+			pr.nack(home, r, arrive)
+			return
+		}
+		if d.Delay > 0 {
+			at := arrive + d.Delay
+			pr.Eng.Schedule(at, func() { pr.dirServe(home, r, at) })
+			return
+		}
+	}
+	pr.dirServe(home, r, arrive)
+}
+
+// nack refuses a request: the directory spends its base occupancy deciding,
+// a control message returns to the requester, and the requester wakes to
+// back off and retry (see issue). This is the negative-acknowledgement path
+// real directory controllers take to shed load or resolve races.
+func (pr *Protocol) nack(home int, r request, arrive sim.Time) {
+	n := pr.nodes[home]
+	e := pr.entryOf(home, r.block)
+	pr.NACKsSent++
+	if pr.check != nil {
+		pr.check.nacksOut[home]++
+	}
+	pr.record(e, arrive, "nack %v from %d", r.kind, r.reqID)
+	pr.note(home, arrive, "nacked %v %#x from %d", r.kind, r.block, r.reqID)
+	start := arrive
+	if n.busyUntil > start {
+		start = n.busyUntil
+	}
+	n.busyUntil = start + pr.Cfg.DirBase
+	pr.countMsg(home, r.reqID, false)
+	at := n.busyUntil + pr.Cfg.DirMsgSend + pr.latency(home, r.reqID) +
+		pr.sendDelay(n.busyUntil, home, r.reqID)
+	p := r.m.P
+	pr.Eng.Schedule(at, func() { p.Wake(at, wakeInfo{nacked: true}) })
+}
+
+// dirServe processes a request at the home. If the block has a transaction
+// in flight the request queues behind it; otherwise it waits for the
+// directory server to be free (contention) and is serviced.
+func (pr *Protocol) dirServe(home int, r request, arrive sim.Time) {
 	e := pr.entryOf(home, r.block)
 	if Debug {
 		trace("dir home=%d %v block=%#x from=%d arrive=%d busy=%v state=%d",
 			home, r.kind, r.block, r.reqID, arrive, e.busy, e.state)
 	}
 	if e.busy {
+		pr.record(e, arrive, "queue %v from %d (txn in flight)", r.kind, r.reqID)
 		e.waiters = append(e.waiters, pendingReq{r: r, arrive: arrive})
 		return
 	}
 	if arrive < e.settleUntil {
 		at := e.settleUntil
-		pr.Eng.Schedule(at, func() { pr.dirHandle(home, r, at) })
+		pr.record(e, arrive, "defer %v from %d until @%d (settle)", r.kind, r.reqID, at)
+		pr.Eng.Schedule(at, func() { pr.dirServe(home, r, at) })
 		return
 	}
+	pr.note(home, arrive, "serving %v %#x from %d", r.kind, r.block, r.reqID)
 	n := pr.nodes[home]
 	start := arrive
 	if n.busyUntil > start {
@@ -204,6 +286,8 @@ func (pr *Protocol) dirHandle(home int, r request, arrive sim.Time) {
 			// Invalidate every other sharer, collect acknowledgements.
 			e.busy = true
 			e.pend = &txn{r: r, arrive: arrive, acksLeft: len(others), needData: needData}
+			pr.record(e, arrive, "inval round: %d sharers (%v from %d)",
+				len(others), r.kind, r.reqID)
 			cost := cfg.DirBase + int64(len(others))*cfg.DirMsgSend
 			if needData {
 				cost += cfg.DRAMCycles
@@ -211,9 +295,12 @@ func (pr *Protocol) dirHandle(home int, r request, arrive sim.Time) {
 			n.busyUntil = start + cost
 			for _, s := range others {
 				pr.Invals++
+				if pr.check != nil {
+					pr.check.ctrlOut[home]++
+				}
 				pr.countMsg(home, s, false)
 				sID := s
-				at := n.busyUntil + pr.latency(home, s)
+				at := n.busyUntil + pr.latency(home, s) + pr.sendDelay(n.busyUntil, home, s)
 				pr.Eng.Schedule(at, func() { pr.ctrlInval(sID, home, r.block, at, false) })
 			}
 		}
@@ -227,10 +314,14 @@ func (pr *Protocol) beginRecall(home int, e *entry, r request, arrive, start sim
 	e.busy = true
 	e.pend = &txn{r: r, arrive: arrive, acksLeft: 1, needData: true,
 		recall: true, recallFrom: e.owner}
+	pr.record(e, arrive, "recall owner %d (%v from %d)", e.owner, r.kind, r.reqID)
 	n.busyUntil = start + cfg.DirBase + cfg.DirMsgSend
 	owner := e.owner
+	if pr.check != nil {
+		pr.check.ctrlOut[home]++
+	}
 	pr.countMsg(home, owner, false)
-	at := n.busyUntil + pr.latency(home, owner)
+	at := n.busyUntil + pr.latency(home, owner) + pr.sendDelay(n.busyUntil, home, owner)
 	block := r.block
 	// A GETS recall downgrades the owner to Shared; GETX/UPGRADE recalls
 	// invalidate it.
@@ -245,9 +336,21 @@ func (pr *Protocol) ctrlInval(id, home int, block uint64, at sim.Time, _ bool) {
 	if Debug {
 		trace("ctrlInval node=%d block=%#x at=%d", id, block, at)
 	}
+	if pr.deferToFill(id, block, at, func(t sim.Time) { pr.ctrlInval(id, home, block, t, false) }) {
+		return
+	}
 	cfg := pr.Cfg
-	st := pr.nodes[id].mem.Cache.Invalidate(block)
+	var st uint8
+	if mutation == mutateSkipInval {
+		// Test-only corruption: acknowledge without invalidating, leaving a
+		// stale copy behind for the invariant checker to catch. Watchers
+		// still wake so the test program itself cannot deadlock.
+		st = pr.nodes[id].mem.Cache.Lookup(block)
+	} else {
+		st = pr.nodes[id].mem.Cache.Invalidate(block)
+	}
 	pr.wakeWatchers(id, block, at)
+	pr.note(id, at, "invalidated %#x for home %d", block, home)
 	delay := cfg.InvalidateCycles
 	withData := false
 	switch st {
@@ -260,7 +363,7 @@ func (pr *Protocol) ctrlInval(id, home int, block uint64, at sim.Time, _ bool) {
 		withData = true
 	}
 	pr.countMsg(id, home, withData)
-	ackAt := at + delay + pr.latency(id, home)
+	ackAt := at + delay + pr.latency(id, home) + pr.sendDelay(at, id, home)
 	pr.Eng.Schedule(ackAt, func() { pr.dirAck(home, block, ackAt, withData, id) })
 }
 
@@ -270,14 +373,18 @@ func (pr *Protocol) ctrlRecall(id, home int, block uint64, at sim.Time, downgrad
 	if Debug {
 		trace("ctrlRecall node=%d block=%#x at=%d downgrade=%v", id, block, at, downgrade)
 	}
+	if pr.deferToFill(id, block, at, func(t sim.Time) { pr.ctrlRecall(id, home, block, t, downgrade) }) {
+		return
+	}
 	cfg := pr.Cfg
 	cache := pr.nodes[id].mem.Cache
 	st := cache.Lookup(block)
 	if st == memsim.Invalid {
 		// The owner already evicted it; the writeback is (or will be) in
 		// flight. Acknowledge without data.
+		pr.note(id, at, "recall of %#x for home %d: already evicted", block, home)
 		pr.countMsg(id, home, false)
-		ackAt := at + cfg.InvalidateCycles + pr.latency(id, home)
+		ackAt := at + cfg.InvalidateCycles + pr.latency(id, home) + pr.sendDelay(at, id, home)
 		pr.Eng.Schedule(ackAt, func() { pr.dirAck(home, block, ackAt, false, id) })
 		return
 	}
@@ -287,18 +394,32 @@ func (pr *Protocol) ctrlRecall(id, home int, block uint64, at sim.Time, downgrad
 		cache.Invalidate(block)
 		pr.wakeWatchers(id, block, at)
 	}
+	pr.note(id, at, "recalled %#x for home %d (downgrade=%v)", block, home, downgrade)
 	delay := cfg.InvalidateCycles + cfg.ReplSharedDirty
 	pr.countMsg(id, home, true)
-	ackAt := at + delay + pr.latency(id, home)
+	ackAt := at + delay + pr.latency(id, home) + pr.sendDelay(at, id, home)
 	pr.Eng.Schedule(ackAt, func() { pr.dirAck(home, block, ackAt, true, id) })
 }
 
 // dirAck processes an acknowledgement (with or without data) at the home.
-func (pr *Protocol) dirAck(home int, block uint64, at sim.Time, withData bool, _ int) {
+func (pr *Protocol) dirAck(home int, block uint64, at sim.Time, withData bool, from int) {
 	n := pr.nodes[home]
 	e := pr.entryOf(home, block)
+	if pr.check != nil {
+		pr.check.acksIn[home]++
+	}
+	pr.record(e, at, "ack from %d (data=%v)", from, withData)
 	if e.pend == nil {
-		panic(fmt.Sprintf("coherence: ack for idle block %#x at home %d", block, home))
+		// An ack with no transaction in flight means the protocol state
+		// machine is inconsistent — a bug, not a simulated condition. Abort
+		// with the block's history instead of panicking the host process.
+		pr.Eng.Abort(&ProtocolError{
+			Home: home, Block: block, Now: at,
+			What: fmt.Sprintf(
+				"acknowledgement from node %d for a block with no transaction in flight", from),
+			History: e.history(),
+		})
+		return
 	}
 	cfg := pr.Cfg
 	start := at
@@ -349,6 +470,8 @@ func (pr *Protocol) completeTxn(home int, block uint64, e *entry) {
 		e.sharers.reset()
 		e.owner = t.r.reqID
 	}
+	pr.record(e, n.busyUntil, "txn done: state=%d owner=%d sharers=%d",
+		e.state, e.owner, e.sharers.count())
 	grantArrive := pr.reply(home, t.r, n.busyUntil, t.needData)
 	if t.r.kind != reqGETS {
 		pr.settle(e, grantArrive)
@@ -366,7 +489,9 @@ func (pr *Protocol) completeTxn(home int, block uint64, e *entry) {
 			if w.arrive > at {
 				at = w.arrive
 			}
-			pr.Eng.Schedule(at, func() { pr.dirHandle(home, w.r, at) })
+			// Straight to dirServe: the queued request already drew its
+			// fault decision when it first arrived.
+			pr.Eng.Schedule(at, func() { pr.dirServe(home, w.r, at) })
 		}
 	}
 }
@@ -380,6 +505,7 @@ func (pr *Protocol) dirWriteback(home int, block uint64, from int, at sim.Time) 
 		start = n.busyUntil
 	}
 	n.busyUntil = start + pr.Cfg.DirBase + pr.Cfg.DirBlockRecv
+	pr.record(e, at, "writeback from %d", from)
 
 	if e.busy && e.pend != nil && e.pend.recall && e.pend.recallFrom == from {
 		// The writeback raced the recall; it carries the data the
@@ -397,6 +523,9 @@ func (pr *Protocol) dirWriteback(home int, block uint64, from int, at sim.Time) 
 	}
 	// Otherwise the writeback is stale (ownership already moved on); memory
 	// was updated by the recall path.
+	if pr.check != nil {
+		pr.check.verifyBlock(home, block, at)
+	}
 }
 
 // reply delivers the directory's response to the requester: at arrival the
@@ -404,15 +533,39 @@ func (pr *Protocol) dirWriteback(home int, block uint64, from int, at sim.Time) 
 // recalls and invalidations observe it), then the processor wakes.
 func (pr *Protocol) reply(home int, r request, when sim.Time, withData bool) sim.Time {
 	pr.countMsg(home, r.reqID, withData)
-	arrive := when + pr.latency(home, r.reqID)
+	if pr.check != nil {
+		pr.check.grantsOut[home]++
+	}
+	if pr.wd != nil {
+		// A granted transaction is the watchdog's unit of progress.
+		pr.wd.Progress(when)
+	}
+	arrive := when + pr.latency(home, r.reqID) + pr.sendDelay(when, home, r.reqID)
 	state := uint8(memsim.Shared)
 	if r.kind != reqGETS {
 		state = memsim.Modified
 	}
+	if pr.forensics {
+		pr.record(pr.entryOf(home, r.block), when, "grant %v to %d (data=%v, arrives @%d)",
+			r.kind, r.reqID, withData, arrive)
+	}
+	if pr.ctrl != nil {
+		// Register the in-flight fill so invalidations and recalls that
+		// overtake it are deferred (see deferToFill).
+		pr.nodes[r.reqID].fills[r.block] = arrive
+	}
 	p := r.m.P
 	pr.Eng.Schedule(arrive, func() {
+		if pr.ctrl != nil {
+			delete(pr.nodes[r.reqID].fills, r.block)
+		}
 		repl := pr.installAt(r.m, r.block, state, arrive)
 		p.Wake(arrive, wakeInfo{replCycles: repl})
+		if pr.check != nil {
+			// The transaction settled with this install; verify the block's
+			// global invariants at the first claimed-consistent moment.
+			pr.check.verifyBlock(home, r.block, arrive)
+		}
 	})
 	return arrive
 }

@@ -1,0 +1,11 @@
+package coherence
+
+// Test-only access to the protocol-corruption switch (see mutation in
+// protocol.go). The mutation tests plant a known bug and assert the
+// invariant checker catches it; callers must restore with SetMutation(0).
+
+// MutateSkipInval makes ctrlInval acknowledge without invalidating.
+const MutateSkipInval = mutateSkipInval
+
+// SetMutation sets the corruption mode; 0 restores correct behavior.
+func SetMutation(m int) { mutation = m }

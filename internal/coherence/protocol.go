@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/cost"
+	"repro/internal/faults"
 	"repro/internal/memsim"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -37,6 +38,24 @@ type Protocol struct {
 	// Aggregate transaction counters, for tests and reports.
 	Reads, Writes, Upgrades, Writebacks, Invals int64
 	QueueDelay, QueueEvents                     int64
+	NACKsSent                                   int64
+
+	// Robustness layers, all off by default (see the Enable methods). With
+	// every one disabled the protocol takes none of their paths and runs
+	// bit-identical to a tree without them.
+	check *Checker            // runtime invariant checker
+	ctrl  *faults.CtrlPlan    // control-message fault injection
+	smf   cost.SMFaultsConfig // retry/backoff tuning, valid when ctrl != nil
+	wd    *sim.Watchdog       // livelock watchdog
+
+	// forensics enables the per-entry transition rings and per-node
+	// last-action records that the layers above report from. Host-CPU cost
+	// only; gating it keeps the common case fast, not the timing honest.
+	forensics bool
+
+	// outstanding counts requests issued but not yet granted, so the
+	// watchdog knows whether quiet means idle or stalled.
+	outstanding int
 }
 
 type node struct {
@@ -45,6 +64,18 @@ type node struct {
 	dir       map[uint64]*entry
 	busyUntil sim.Time
 	watchers  map[uint64][]*sim.Proc
+
+	// fills maps block -> arrival time of a granted reply still in flight to
+	// this node's cache. Maintained only under fault injection, where a
+	// delayed fill can be overtaken by an invalidation or recall for the
+	// same block; the controller defers such messages past the fill (MSHR
+	// behavior) so stale ghost copies can never form.
+	fills map[uint64]sim.Time
+
+	// lastAct/lastActAt are the node's most recent protocol action, for
+	// stall reports (forensics only).
+	lastAct   string
+	lastActAt sim.Time
 }
 
 // New creates the protocol for cfg.Procs nodes.
@@ -59,6 +90,7 @@ func New(eng *sim.Engine, cfg *cost.Config) *Protocol {
 			id:       i,
 			dir:      make(map[uint64]*entry),
 			watchers: make(map[uint64][]*sim.Proc),
+			fills:    make(map[uint64]sim.Time),
 		}
 	}
 	return pr
@@ -102,9 +134,100 @@ func (pr *Protocol) countMsg(n, dst int, carriesBlock bool) {
 }
 
 // wakeInfo is passed from the reply event to the woken requester: the
-// replacement cost of whatever the installed block displaced.
+// replacement cost of whatever the installed block displaced, or the fact
+// that the home refused the request and it must be retried.
 type wakeInfo struct {
 	replCycles int64
+	nacked     bool
+}
+
+// EnableChecker arms the runtime invariant checker (see check.go). Must be
+// called before the simulation starts; returns the checker for end-of-run
+// verification and counters. Idempotent.
+func (pr *Protocol) EnableChecker() *Checker {
+	if pr.check == nil {
+		pr.check = newChecker(pr)
+		pr.forensics = true
+	}
+	return pr.check
+}
+
+// Checker returns the armed invariant checker, or nil.
+func (pr *Protocol) Checker() *Checker { return pr.check }
+
+// EnableCtrlFaults arms control-message fault injection with the given
+// tuning (pass it through cost.SMFaultsConfig.WithDefaults first). Must be
+// called before the simulation starts.
+func (pr *Protocol) EnableCtrlFaults(f cost.SMFaultsConfig) *faults.CtrlPlan {
+	pr.smf = f
+	pr.ctrl = faults.CtrlFromConfig(f, pr.Cfg.NetLatency)
+	pr.forensics = true
+	return pr.ctrl
+}
+
+// CtrlPlan returns the armed control-fault plan, or nil.
+func (pr *Protocol) CtrlPlan() *faults.CtrlPlan { return pr.ctrl }
+
+// EnableWatchdog arms the coherence livelock watchdog: if some request has
+// been outstanding and no directory transaction granted a reply for window
+// cycles of virtual time, the run aborts with a sim.StallError carrying the
+// stall report (hot blocks, pending requests, per-node last actions). Must
+// be called before the simulation starts.
+func (pr *Protocol) EnableWatchdog(window sim.Time) *sim.Watchdog {
+	pr.wd = pr.Eng.AddWatchdog("coherence", window,
+		func() bool { return pr.outstanding > 0 }, pr.stallReport)
+	pr.forensics = true
+	return pr.wd
+}
+
+// record appends one event to block entry e's bounded transition ring.
+// Forensics only: costs host CPU, never virtual time.
+func (pr *Protocol) record(e *entry, at sim.Time, format string, args ...any) {
+	if !pr.forensics {
+		return
+	}
+	e.hist[e.histN%histLen] = histRec{at: at, ev: fmt.Sprintf(format, args...)}
+	e.histN++
+}
+
+// note updates node id's last-protocol-action forensics line.
+func (pr *Protocol) note(id int, at sim.Time, format string, args ...any) {
+	if !pr.forensics {
+		return
+	}
+	n := pr.nodes[id]
+	n.lastAct = fmt.Sprintf(format, args...)
+	n.lastActAt = at
+}
+
+// sendDelay returns the fault-injected extra latency, if any, for a protocol
+// message sent from src to dst at time when.
+func (pr *Protocol) sendDelay(when sim.Time, src, dst int) sim.Time {
+	if pr.ctrl == nil {
+		return 0
+	}
+	return pr.ctrl.DecideMessage(when, src, dst).Delay
+}
+
+// deferToFill defers a cache-controller action on node id when a granted
+// fill for block is still in flight to that node — an invalidation or recall
+// that overtook the data reply it logically follows. Real controllers hold
+// such messages in the MSHR until the fill completes; without this, a
+// delayed fill would install a ghost copy the directory no longer records.
+// Only possible under fault injection. Reports whether it rescheduled fn.
+func (pr *Protocol) deferToFill(id int, block uint64, at sim.Time, fn func(sim.Time)) bool {
+	if pr.ctrl == nil {
+		return false
+	}
+	fa, ok := pr.nodes[id].fills[block]
+	if !ok {
+		return false
+	}
+	if fa < at {
+		fa = at
+	}
+	pr.Eng.Schedule(fa, func() { fn(fa) })
+	return true
 }
 
 // ReadMiss implements memsim.SharedHandler: fetch a readable copy. The
@@ -122,12 +245,8 @@ func (pr *Protocol) ReadMiss(m *memsim.Mem, block uint64) {
 	}
 	pr.Reads++
 	p.ChargeStall(cat, pr.Cfg.SharedMissCycles)
-	pr.countMsg(p.ID, home, false)
-	arrive := p.Clock() + pr.latency(p.ID, home)
-	r := request{kind: reqGETS, block: block, reqID: p.ID, m: m}
-	pr.Eng.Schedule(arrive, func() { pr.dirHandle(home, r, arrive) })
-	info := p.Block(cat, "shared read miss").(wakeInfo)
-	p.ChargeStall(cat, info.replCycles)
+	pr.issue(home, request{kind: reqGETS, block: block, reqID: p.ID, m: m},
+		cat, "shared read miss")
 }
 
 // WriteAccess implements memsim.SharedHandler: obtain a writable copy.
@@ -154,12 +273,60 @@ func (pr *Protocol) WriteAccess(m *memsim.Mem, block uint64, resident uint8) {
 		pr.Writes++
 	}
 	p.ChargeStall(cat, pr.Cfg.SharedMissCycles)
-	pr.countMsg(p.ID, home, false)
-	arrive := p.Clock() + pr.latency(p.ID, home)
-	r := request{kind: kind, block: block, reqID: p.ID, m: m}
-	pr.Eng.Schedule(arrive, func() { pr.dirHandle(home, r, arrive) })
-	info := p.Block(cat, "shared write access").(wakeInfo)
-	p.ChargeStall(cat, info.replCycles)
+	pr.issue(home, request{kind: kind, block: block, reqID: p.ID, m: m},
+		cat, "shared write access")
+}
+
+// issue sends request r to its home and blocks until the grant installs,
+// charging the victim's replacement cost on wake. Under fault injection the
+// home may NACK instead: the requester then backs off exponentially —
+// charged to its own taxonomy row (stats.DirRetry), so degradation is
+// visible as a separate cost, not smeared into miss time — and reissues,
+// up to the configured retry budget; exhausting it aborts the run with a
+// structured starvation report instead of livelocking.
+func (pr *Protocol) issue(home int, r request, cat stats.Category, why string) {
+	p := r.m.P
+	if pr.wd != nil {
+		if pr.outstanding == 0 {
+			// First request after a quiet period: restart the watchdog
+			// window from here, not from the last pre-quiet grant.
+			pr.wd.Progress(p.Clock())
+		}
+		pr.outstanding++
+		defer func() { pr.outstanding-- }()
+	}
+	firstSent := p.Clock()
+	retries := 0
+	var backoff int64
+	for {
+		pr.note(p.ID, p.Clock(), "sent %v %#x to home %d", r.kind, r.block, home)
+		pr.countMsg(p.ID, home, false)
+		arrive := p.Clock() + pr.latency(p.ID, home)
+		pr.Eng.Schedule(arrive, func() { pr.dirHandle(home, r, arrive) })
+		info := p.Block(cat, why).(wakeInfo)
+		if !info.nacked {
+			p.ChargeStall(cat, info.replCycles)
+			return
+		}
+		retries++
+		p.Acct.Add(stats.CntNACKs, 1)
+		if retries > pr.smf.RetryBudget {
+			p.Fail(&faults.RetryStarvationError{
+				Node: p.ID, Home: home, Block: r.block, Kind: r.kind.String(),
+				Retries: retries, FirstSent: firstSent, Now: p.Clock(),
+			})
+		}
+		if backoff == 0 {
+			backoff = pr.smf.Backoff
+		} else if backoff < pr.smf.BackoffMax {
+			backoff *= 2
+			if backoff > pr.smf.BackoffMax {
+				backoff = pr.smf.BackoffMax
+			}
+		}
+		p.Acct.Add(stats.CntDirRetries, 1)
+		p.ChargeStall(stats.DirRetry, pr.Cfg.NACKRetryCycles+backoff)
+	}
 }
 
 // installAt runs in event context at reply arrival: the cache controller
@@ -350,6 +517,19 @@ func (pr *Protocol) DirStateOf(addr uint64) (string, int) {
 	}
 	return fmt.Sprintf("state(%d)", e.state), 0
 }
+
+// mutation is a test-only protocol-corruption switch (see export_test.go):
+// the mutation tests plant a known protocol bug and assert the invariant
+// checker catches it, proving the checker actually discriminates.
+var mutation int
+
+const (
+	mutateNone = iota
+	// mutateSkipInval makes the cache controller acknowledge an
+	// invalidation without invalidating — the classic lost-invalidation bug,
+	// which leaves a stale Shared copy alive across a write.
+	mutateSkipInval
+)
 
 // Debug enables protocol event tracing to stdout (tests only).
 var Debug bool

@@ -92,6 +92,94 @@ type Config struct {
 	RelSeqCycles     int64 // sender sequence/window bookkeeping per packet
 	RelAckCycles     int64 // composing or processing one cumulative ack
 	RelRetransCycles int64 // software overhead per retransmitted packet
+
+	// --- Shared-memory robustness layer (extension; not in the paper,
+	// whose directory protocol is assumed bug-free on a perfect
+	// interconnect) ---
+
+	// SMCheck enables the runtime coherence invariant checker: after every
+	// directory transaction settles, the checker verifies single-writer/
+	// multiple-reader, directory/cache-state agreement, and per-home message
+	// conservation, aborting the run with a structured
+	// coherence.InvariantError on the first violation. Off (the default)
+	// adds zero overhead and leaves runs bit-identical.
+	SMCheck bool
+
+	// SMFaults, when non-nil, enables deterministic fault injection on the
+	// shared-memory machine's coherence traffic (directory NACKs, message
+	// delay/reordering) and arms the requester-side NACK/retry loop. Nil
+	// (the default) leaves the perfect-interconnect fast path untouched.
+	SMFaults *SMFaultsConfig
+
+	// SMWatchdog, when positive, arms a livelock/deadlock watchdog on the
+	// shared-memory machine: if no directory transaction completes for this
+	// many cycles of virtual time, the run aborts with a stall report naming
+	// the hot blocks and each node's last protocol action. Zero disables it.
+	SMWatchdog int64
+
+	// NACKRetryCycles is the software overhead of re-issuing a NACKed
+	// coherence request, charged to the DirRetry category on top of the
+	// backoff wait. Only incurred when SMFaults is non-nil.
+	NACKRetryCycles int64
+}
+
+// SMFaultsConfig is the shared-memory fault-injection specification: one
+// rate set applied to every coherence-protocol link for the whole run, plus
+// NACK/retry tuning. Richer per-link, per-epoch schedules are built directly
+// with faults.NewCtrlPlan; machine construction converts this spec into a
+// single-epoch wildcard plan.
+type SMFaultsConfig struct {
+	// Seed drives the control-message fault plan's deterministic RNG.
+	// Identical seeds (and configurations) reproduce identical fault
+	// sequences bit-for-bit.
+	Seed uint64
+
+	// NACKRate is the per-request probability in [0,1) that the home
+	// directory NACKs an arriving coherence request instead of servicing
+	// it; the requester backs off exponentially and retries.
+	NACKRate float64
+
+	// ReorderRate is the per-message probability in [0,1) that a protocol
+	// control message (reply, invalidation, recall, acknowledgement) is
+	// deferred past at least one full network-latency window, letting later
+	// messages overtake it.
+	ReorderRate float64
+
+	// DelayRate is the per-message probability in [0,1) of extra delivery
+	// jitter, uniform in [1, MaxDelay] cycles.
+	DelayRate float64
+
+	// MaxDelay bounds the extra jitter in cycles (default 4x the network
+	// latency).
+	MaxDelay int64
+
+	// Backoff is the initial requester backoff after a NACK, in cycles
+	// (default 4x the network latency); it doubles per consecutive NACK of
+	// the same request up to BackoffMax (default 64x Backoff).
+	Backoff, BackoffMax int64
+
+	// RetryBudget bounds consecutive NACKs of one request; exhausting it
+	// aborts the run with a structured faults.RetryStarvationError instead
+	// of livelocking (default 16).
+	RetryBudget int
+}
+
+// WithDefaults returns a copy of f with unset tuning fields filled from the
+// machine's network latency.
+func (f SMFaultsConfig) WithDefaults(netLatency int64) SMFaultsConfig {
+	if f.MaxDelay <= 0 {
+		f.MaxDelay = 4 * netLatency
+	}
+	if f.Backoff <= 0 {
+		f.Backoff = 4 * netLatency
+	}
+	if f.BackoffMax <= 0 {
+		f.BackoffMax = 64 * f.Backoff
+	}
+	if f.RetryBudget <= 0 {
+		f.RetryBudget = 16
+	}
+	return f
 }
 
 // FaultsConfig is the uniform fault-injection specification: one rate set
@@ -202,6 +290,8 @@ func Default(procs int) Config {
 		RelSeqCycles:     8,
 		RelAckCycles:     12,
 		RelRetransCycles: 30,
+
+		NACKRetryCycles: 19,
 	}
 }
 
@@ -243,6 +333,22 @@ func (c *Config) Validate() error {
 		if f.MaxDelay < 0 || f.RTO < 0 || f.RTOMax < 0 || f.MaxRetries < 0 || f.Window < 0 {
 			return errf("fault tuning fields must be non-negative")
 		}
+	}
+	if f := c.SMFaults; f != nil {
+		for _, r := range []struct {
+			name string
+			v    float64
+		}{{"nack", f.NACKRate}, {"reorder", f.ReorderRate}, {"delay", f.DelayRate}} {
+			if r.v < 0 || r.v > 1 {
+				return errf("sm fault %s rate %g out of range [0,1]", r.name, r.v)
+			}
+		}
+		if f.MaxDelay < 0 || f.Backoff < 0 || f.BackoffMax < 0 || f.RetryBudget < 0 {
+			return errf("sm fault tuning fields must be non-negative")
+		}
+	}
+	if c.SMWatchdog < 0 {
+		return errf("sm watchdog window must be non-negative")
 	}
 	return nil
 }

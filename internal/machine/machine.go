@@ -216,6 +216,21 @@ func NewSM(cfg cost.Config, policy parmacs.Policy, program func(n *SMNode)) *SMM
 	rt := parmacs.NewRuntime(&c, pr, space, bar)
 	rt.Policy = policy
 
+	// Robustness layers (all off by default; with none armed the protocol
+	// runs bit-identical to a tree without them — a regression test asserts
+	// this). These mirror the MP machine's fault plan + reliable transport:
+	// the invariant checker, control-message fault injection, and the
+	// coherence livelock watchdog.
+	if c.SMCheck {
+		pr.EnableChecker()
+	}
+	if c.SMFaults != nil {
+		pr.EnableCtrlFaults(c.SMFaults.WithDefaults(c.NetLatency))
+	}
+	if c.SMWatchdog > 0 {
+		pr.EnableWatchdog(c.SMWatchdog)
+	}
+
 	m := &SMMachine{Eng: eng, Pr: pr, RT: rt}
 	m.Nodes = make([]*SMNode, c.Procs)
 	for i := 0; i < c.Procs; i++ {
@@ -231,9 +246,17 @@ func NewSM(cfg cost.Config, policy parmacs.Policy, program func(n *SMNode)) *SMM
 	return m
 }
 
-// Run executes the machine to completion and summarizes.
+// Run executes the machine to completion and summarizes. When the invariant
+// checker is armed, a clean run is followed by the end-of-run global
+// verification (every block's invariants plus per-home message
+// conservation); its verdict lands in Result.Err like any other abort.
 func (m *SMMachine) Run() *Result {
 	err := m.Eng.Run()
+	if err == nil {
+		if ck := m.Pr.Checker(); ck != nil {
+			err = ck.Final()
+		}
+	}
 	res := summarize(m.Eng)
 	res.Err = err
 	return res

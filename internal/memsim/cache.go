@@ -15,6 +15,20 @@ const (
 	Modified       // valid, writable (dirty)
 )
 
+// StateName returns a diagnostic name for a cache-line state, used by the
+// coherence invariant checker's violation reports.
+func StateName(st uint8) string {
+	switch st {
+	case Invalid:
+		return "Invalid"
+	case Shared:
+		return "Shared"
+	case Modified:
+		return "Modified"
+	}
+	return fmt.Sprintf("state(%d)", st)
+}
+
 // Line is one cache line's tag state. Tag stores the full block number
 // (address >> block shift), so aliasing is impossible.
 type Line struct {

@@ -7,6 +7,7 @@
 package parmacs
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -107,10 +108,10 @@ func (rt *Runtime) WaitCreate(p *sim.Proc) {
 // the application charges as computation).
 func (rt *Runtime) Create(p *sim.Proc) {
 	if p.ID != 0 {
-		panic("parmacs: Create must be called by node 0")
+		p.Fail(fmt.Errorf("%w: called by node %d, not node 0", ErrBadCreate, p.ID))
 	}
 	if rt.created {
-		panic("parmacs: Create called twice")
+		p.Fail(fmt.Errorf("%w: called twice", ErrBadCreate))
 	}
 	rt.created = true
 	rt.createTime = p.Clock()
@@ -229,8 +230,24 @@ func combine(op Op, v1 float64, i1 int64, v2 float64, i2 int64) (float64, int64)
 		}
 		return v1, i1
 	}
-	panic(fmt.Sprintf("parmacs: unknown op %d", op))
+	// Unreachable: Reduce validates op (failing the processor with
+	// ErrUnknownOp) before combining.
+	return v1, i1
 }
+
+// valid reports whether op names a defined combining operator.
+func (op Op) valid() bool {
+	return op == OpSum || op == OpMax || op == OpMaxAbs
+}
+
+// Runtime misuse errors, reported through the engine's structured abort path
+// (matching am.ErrNoHandler) instead of panicking the host process.
+var (
+	// ErrBadCreate reports misuse of the create() primitive.
+	ErrBadCreate = errors.New("parmacs: invalid create()")
+	// ErrUnknownOp reports a reduction called with an undefined operator.
+	ErrUnknownOp = errors.New("parmacs: unknown reduction op")
+)
 
 // Cats selects the accounting categories for a reduction: Gauss-SM reports
 // reductions as their own row ("Reductions 6%"), while LCP-SM splits them
@@ -280,6 +297,9 @@ func NewReduction(rt *Runtime) *Reduction {
 // node 0 (zeros elsewhere). All nodes must call it in the same order.
 func (r *Reduction) Reduce(m *memsim.Mem, val float64, idx int64, op Op, cats Cats) (float64, int64) {
 	p := m.P
+	if !op.valid() {
+		p.Fail(fmt.Errorf("%w: op %d at node %d", ErrUnknownOp, int(op), p.ID))
+	}
 	p.PushModeFull(cats.Comp, cats.Miss, stats.CntPrivateMisses, cats.Miss, cats.Miss)
 	defer p.PopMode()
 

@@ -59,6 +59,10 @@ type Engine struct {
 	// Remaining processors are unwound cleanly instead of deadlocking.
 	aborted error
 
+	// watchdogs are progress monitors checked each scheduling iteration;
+	// see AddWatchdog. Empty unless a robustness layer armed one.
+	watchdogs []*Watchdog
+
 	// Trace, when non-nil, receives a line per engine decision. Used by
 	// tests; nil in normal runs.
 	Trace func(format string, args ...any)
@@ -130,6 +134,13 @@ func (e *Engine) Run() error {
 		}
 		if e.MaxTime > 0 && e.now > e.MaxTime {
 			e.overtime()
+		}
+		if len(e.watchdogs) > 0 {
+			e.checkWatchdogs()
+			if e.aborted != nil {
+				e.unwind()
+				return e.aborted
+			}
 		}
 		e.qEnd = e.now + e.Quantum
 

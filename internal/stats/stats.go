@@ -66,6 +66,12 @@ const (
 	// so degradation experiments can isolate it. Always zero with fault
 	// injection disabled.
 	LibRetrans
+	// DirRetry is the shared-memory analogue of LibRetrans: time a processor
+	// spends backing off and re-issuing coherence requests the home directory
+	// NACKed under fault injection. It extends the paper's taxonomy the same
+	// way LibRetrans does for the message-passing machine, and is always zero
+	// with SM fault injection disabled.
+	DirRetry
 	// NumCategories is the number of categories; it is not itself a
 	// category.
 	NumCategories
@@ -74,7 +80,7 @@ const (
 var categoryNames = [NumCategories]string{
 	"Computation", "Local Misses", "Lib Comp", "Lib Misses", "Network Access",
 	"Barriers", "Start-up Wait", "Shared Misses", "Write Faults", "TLB Misses",
-	"Locks", "Sync Comp", "Sync Miss", "Reductions", "Lib Retrans",
+	"Locks", "Sync Comp", "Sync Miss", "Reductions", "Lib Retrans", "Dir Retry",
 }
 
 // String returns the paper's name for the category.
@@ -128,6 +134,12 @@ const (
 	CntCorrupt
 	// CntAcks counts reliable-transport acknowledgement packets sent.
 	CntAcks
+	// CntNACKs counts coherence requests this node issued that the home
+	// directory NACKed (SM fault injection).
+	CntNACKs
+	// CntDirRetries counts coherence requests this node re-issued after a
+	// NACK and backoff.
+	CntDirRetries
 	// NumCounts is the number of counts; it is not itself a count.
 	NumCounts
 )
@@ -137,7 +149,7 @@ var countNames = [NumCounts]string{
 	"Active Messages", "Bytes Data", "Bytes Control", "Private Misses",
 	"Shared Misses (Local)", "Shared Misses (Remote)", "Write Faults",
 	"TLB Misses", "Retransmissions", "Dropped Packets", "Duplicates Filtered",
-	"Corrupt Discarded", "Acks Sent",
+	"Corrupt Discarded", "Acks Sent", "NACKs Received", "Dir Retries",
 }
 
 // String returns the paper's name for the count.
