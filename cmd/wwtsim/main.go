@@ -12,6 +12,8 @@
 //	       [-jitter P] [-faultseed S] [-maxretries N]
 //	       [-smcheck] [-smfaults] [-nackrate P] [-reorderrate P]
 //	       [-watchdog CYCLES]
+//	       [-checkpoint-every CYCLES] [-checkpoint-dir DIR]
+//	       [-resume FILE] [-run-until CYCLE]
 //
 // -faults enables deterministic fault injection on the message-passing
 // machine's network (drops, duplicates, corruption, delay jitter at the
@@ -30,6 +32,15 @@
 // counters; -faultseed seeds it. -watchdog N aborts with a stall report if
 // requests stay outstanding for N cycles with no transaction granting
 // (simulated livelock).
+//
+// -checkpoint-every N writes a snapshot (ckpt-<cycle>.wws in
+// -checkpoint-dir) at the first quantum boundary at or after every N
+// cycles. -resume FILE rebuilds the run recorded in the snapshot, replays
+// it deterministically, verifies bit-identical machine state and accounting
+// at the checkpoint cycle (any divergence aborts loudly), and continues to
+// completion. -run-until C stops a run cleanly at the first quantum
+// boundary at or after cycle C with partial stats — re-running with tighter
+// stop cycles bisects a failing run to its first divergent quantum.
 package main
 
 import (
@@ -38,14 +49,11 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/apps/em3d"
-	"repro/internal/apps/gauss"
-	"repro/internal/apps/lcp"
-	"repro/internal/apps/mse"
-	"repro/internal/cmmd"
 	"repro/internal/cost"
 	"repro/internal/machine"
-	"repro/internal/parmacs"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
 	"repro/internal/stats"
 )
 
@@ -70,10 +78,12 @@ func main() {
 	nackRate := flag.Float64("nackrate", 0, "per-request directory NACK probability")
 	reorderRate := flag.Float64("reorderrate", 0, "per-message coherence reorder probability")
 	watchdog := flag.Int64("watchdog", 0, "coherence stall watchdog window in cycles (sm only, 0 = off)")
+	ckEvery := flag.Int64("checkpoint-every", 0, "write a snapshot every N cycles (0 = off)")
+	ckDir := flag.String("checkpoint-dir", ".", "directory for checkpoint files")
+	resume := flag.String("resume", "", "resume (replay + verify) from a snapshot file")
+	runUntil := flag.Int64("run-until", 0, "stop cleanly at the first quantum boundary at or after this cycle (0 = off)")
 	flag.Parse()
 
-	cfg := cost.Default(*procs)
-	cfg.CacheBytes = *cache
 	for _, r := range []struct {
 		name string
 		v    float64
@@ -83,126 +93,92 @@ func main() {
 			fatal("-%s %g out of range [0,1]", r.name, r.v)
 		}
 	}
-	if *faultsOn || *dropRate > 0 || *dupRate > 0 || *corruptRate > 0 || *jitter > 0 {
-		if *mach != "mp" {
-			fatal("fault injection models the message-passing network; use -machine mp")
-		}
-		cfg.Faults = &cost.FaultsConfig{
-			Seed: *faultSeed, DropRate: *dropRate, DupRate: *dupRate,
-			CorruptRate: *corruptRate, DelayRate: *jitter,
-			MaxRetries: *maxRetries,
-		}
+	if *ckEvery < 0 || *runUntil < 0 {
+		fatal("-checkpoint-every and -run-until must be non-negative")
 	}
-	if *smCheck || *smFaults || *nackRate > 0 || *reorderRate > 0 || *watchdog > 0 {
-		if *mach != "sm" {
-			fatal("coherence robustness controls model the shared-memory machine; use -machine sm")
+
+	opts := runner.Options{
+		CheckpointEvery: sim.Time(*ckEvery),
+		CheckpointDir:   *ckDir,
+		RunUntil:        sim.Time(*runUntil),
+	}
+
+	var spec runner.Spec
+	if *resume != "" {
+		snap, err := snapshot.ReadFile(*resume)
+		if err != nil {
+			fatal("-resume: %v", err)
 		}
-	}
-	cfg.SMCheck = *smCheck
-	cfg.SMWatchdog = *watchdog
-	if *smFaults || *nackRate > 0 || *reorderRate > 0 {
-		cfg.SMFaults = &cost.SMFaultsConfig{
-			Seed: *faultSeed, NACKRate: *nackRate, ReorderRate: *reorderRate,
+		sp, err := runner.SpecFromSnapshot(snap)
+		if err != nil {
+			fatal("-resume: %v", err)
 		}
-	}
-	var shape cmmd.Shape
-	switch *shapeStr {
-	case "flat":
-		shape = cmmd.Flat
-	case "binary":
-		shape = cmmd.Binary
-	case "lopsided":
-		shape = cmmd.LopSided
-	default:
-		fatal("unknown shape %q", *shapeStr)
-	}
-	pol := parmacs.RoundRobin
-	if *policy == "local" {
-		pol = parmacs.Local
+		spec = *sp
+		opts.Resume = snap
+		fmt.Printf("resuming %s on %s from %s (checkpoint cycle %d)\n",
+			spec.App, spec.Machine, *resume, snap.Cycle)
+	} else {
+		spec = runner.Spec{
+			App: *app, Machine: *mach, Procs: *procs,
+			CacheBytes: *cache, Shape: *shapeStr, Policy: *policy,
+			Size: *size, Iters: *iters,
+			SMCheck: *smCheck, SMWatchdog: *watchdog,
+		}
+		if *faultsOn || *dropRate > 0 || *dupRate > 0 || *corruptRate > 0 || *jitter > 0 {
+			if *mach != "mp" {
+				fatal("fault injection models the message-passing network; use -machine mp")
+			}
+			spec.Faults = &cost.FaultsConfig{
+				Seed: *faultSeed, DropRate: *dropRate, DupRate: *dupRate,
+				CorruptRate: *corruptRate, DelayRate: *jitter,
+				MaxRetries: *maxRetries,
+			}
+		}
+		if *smCheck || *smFaults || *nackRate > 0 || *reorderRate > 0 || *watchdog > 0 {
+			if *mach != "sm" {
+				fatal("coherence robustness controls model the shared-memory machine; use -machine sm")
+			}
+		}
+		if *smFaults || *nackRate > 0 || *reorderRate > 0 {
+			spec.SMFaults = &cost.SMFaultsConfig{
+				Seed: *faultSeed, NACKRate: *nackRate, ReorderRate: *reorderRate,
+			}
+		}
+		if err := spec.Validate(); err != nil {
+			fatal("%v", err)
+		}
 	}
 
 	start := time.Now()
-	var res *machine.Result
-	switch *app {
-	case "mse":
-		par := mse.DefaultParams()
-		if *size > 0 {
-			par.Bodies = *size
+	out, err := runner.Run(spec, opts)
+	if err != nil {
+		// Harness-level failure: replay divergence or a checkpoint write
+		// error. Partial stats, when present, still describe the execution.
+		fmt.Printf("\nRUN ABORTED: %v\n", err)
+		if out != nil && out.Res != nil {
+			fmt.Println("(stats below cover the partial execution)")
+			printBreakdown(out.Res)
 		}
-		if *iters > 0 {
-			par.Iters = *iters
-		}
-		if *mach == "mp" {
-			out := mse.RunMP(cfg, shape, par)
-			res = out.Res
-			fmt.Printf("refErr=%.3g residual=%.3g\n", out.RefErr, out.Residual)
-		} else {
-			out := mse.RunSM(cfg, par)
-			res = out.Res
-			fmt.Printf("refErr=%.3g residual=%.3g\n", out.RefErr, out.Residual)
-		}
-	case "gauss":
-		par := gauss.Params{N: 512, Seed: 1}
-		if *size > 0 {
-			par.N = *size
-		}
-		if *mach == "mp" {
-			out := gauss.RunMP(cfg, shape, par)
-			res = out.Res
-			fmt.Printf("maxErr=%.3g\n", out.MaxErr)
-		} else {
-			out := gauss.RunSM(cfg, par)
-			res = out.Res
-			fmt.Printf("maxErr=%.3g\n", out.MaxErr)
-		}
-	case "em3d":
-		par := em3d.DefaultParams()
-		if *size > 0 {
-			par.NodesPer = *size
-		}
-		if *iters > 0 {
-			par.Iters = *iters
-		}
-		if *mach == "mp" {
-			out := em3d.RunMP(cfg, shape, par)
-			res = out.Res
-			fmt.Printf("maxErr=%.3g\n", out.MaxErr)
-		} else {
-			out := em3d.RunSM(cfg, pol, par)
-			res = out.Res
-			fmt.Printf("maxErr=%.3g\n", out.MaxErr)
-		}
-	case "lcp", "alcp":
-		par := lcp.DefaultParams()
-		if *size > 0 {
-			par.N = *size
-		}
-		if *iters > 0 {
-			par.MaxSteps = *iters
-		}
-		var out *lcp.Output
-		switch {
-		case *app == "lcp" && *mach == "mp":
-			out = lcp.RunMP(cfg, shape, par)
-		case *app == "lcp":
-			out = lcp.RunSM(cfg, par)
-		case *mach == "mp":
-			out = lcp.RunAMP(cfg, shape, par)
-		default:
-			out = lcp.RunASM(cfg, par)
-		}
-		res = out.Res
-		fmt.Printf("steps=%d residual=%.3g\n", out.Steps, out.Residual)
-	default:
-		fatal("unknown app %q", *app)
+		os.Exit(1)
 	}
-
-	fmt.Printf("simulated %d procs in %v wall\n", *procs, time.Since(start).Round(time.Millisecond))
-	if res.Err != nil {
-		fmt.Printf("\nRUN ABORTED: %v\n(stats below cover the partial execution)\n", res.Err)
+	fmt.Println(out.AppLine)
+	fmt.Printf("simulated %d procs in %v wall\n", spec.Procs, time.Since(start).Round(time.Millisecond))
+	for _, cp := range out.Checkpoints {
+		fmt.Printf("checkpoint: %s (cycle %d)\n", cp.Path, cp.Cycle)
 	}
-	printBreakdown(res)
-	if res.Err != nil {
+	if out.Verified {
+		fmt.Printf("replay verified: state and stats bit-identical at cycle %d\n", opts.Resume.Cycle)
+	}
+	switch {
+	case out.Stopped:
+		fmt.Printf("\nRUN STOPPED at cycle %d (-run-until %d); stats cover the partial execution\n",
+			out.StoppedAt, *runUntil)
+	case out.Res.Err != nil:
+		fmt.Printf("\nRUN ABORTED: %v\n(stats below cover the partial execution)\n", out.Res.Err)
+	}
+	printBreakdown(out.Res)
+	fmt.Printf("\nstats fingerprint: %#x\n", out.Fingerprint)
+	if out.Res.Err != nil && !out.Stopped {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,43 @@
+package am
+
+import (
+	"sort"
+
+	"repro/internal/snapshot"
+)
+
+// EncodeState contributes this node's reliable-transport image to a
+// canonical state snapshot: per peer, the sender window (next sequence
+// number, unacked packets, retransmit deadline and backoff) and the
+// receiver cursor (cumulative ack point, buffered out-of-order sequence
+// numbers in sorted order — the buffer is a map, whose iteration order
+// must never leak into the bytes).
+func (r *Reliable) EncodeState(enc *snapshot.Enc) {
+	enc.Section("reliable", func(enc *snapshot.Enc) {
+		enc.I64(int64(r.outstanding))
+		enc.U32(uint32(len(r.peers)))
+		for _, pr := range r.peers {
+			if pr == nil {
+				enc.Bool(false)
+				continue
+			}
+			enc.Bool(true)
+			enc.U64(pr.nextSeq)
+			enc.U32(uint32(len(pr.unacked)))
+			for _, u := range pr.unacked {
+				enc.U64(u.seq)
+				enc.I64(u.first)
+			}
+			enc.I64(pr.deadline)
+			enc.I64(pr.rto)
+			enc.I64(int64(pr.retries))
+			enc.U64(pr.cum)
+			seqs := make([]uint64, 0, len(pr.buf))
+			for s := range pr.buf {
+				seqs = append(seqs, s)
+			}
+			sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+			enc.U64s(seqs)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/machine"
 	"repro/internal/memsim"
+	"repro/internal/snapshot"
 )
 
 // RunMP runs EM3D-MP: the Split-C-derived message-passing version with one
@@ -55,6 +56,12 @@ func RunMP(cfg cost.Config, shape cmmd.Shape, par Params) *Output {
 		}
 		ghostH := nd.AllocF(counts[0] + 1)
 		ghostE := nd.AllocF(counts[1] + 1)
+		nd.OnState(func(enc *snapshot.Enc) {
+			enc.F64s(eVal.V)
+			enc.F64s(hVal.V)
+			enc.F64s(ghostH.V)
+			enc.F64s(ghostE.V)
+		})
 
 		// Wire the in-edge metadata: local sources index the value vector
 		// directly; remote sources index their per-edge ghost slot (np+slot).

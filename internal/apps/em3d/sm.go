@@ -5,6 +5,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/memsim"
 	"repro/internal/parmacs"
+	"repro/internal/snapshot"
 )
 
 // smShared is the shared-memory problem state established by node 0.
@@ -69,6 +70,12 @@ func runSM(cfg cost.Config, policy parmacs.Policy, par Params, flush bool) *Outp
 			nd.RT.WaitCreate(nd.P)
 		}
 		nd.Barrier()
+		nd.OnState(func(enc *snapshot.Enc) {
+			enc.F64s(sh.eVal[me].V)
+			enc.F64s(sh.hVal[me].V)
+			enc.I64s(sh.eCnt[me].V)
+			enc.I64s(sh.hCnt[me].V)
+		})
 
 		// Register my out-edges at their sinks: lock the sink processor's
 		// region, claim the next in-edge slot, write the source pointer and

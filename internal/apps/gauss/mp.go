@@ -7,6 +7,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/machine"
 	"repro/internal/memsim"
+	"repro/internal/snapshot"
 )
 
 // RunMP runs Gauss-MP: the paper's message-passing Gaussian elimination
@@ -30,6 +31,12 @@ func RunMP(cfg cost.Config, shape cmmd.Shape, par Params) *Output {
 		prow := nd.AllocFSized(width, elemBytes)
 		x := nd.AllocFSized(n, elemBytes)
 		mask := nd.AllocI(rpp) // step at which the row retired, or -1
+		nd.OnState(func(enc *snapshot.Enc) {
+			enc.F64s(A.V)
+			enc.F64s(prow.V)
+			enc.F64s(x.V)
+			enc.I64s(mask.V)
+		})
 
 		// Fill my rows with the deterministic generator.
 		for r := 0; r < rpp; r++ {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/memsim"
 	"repro/internal/parmacs"
+	"repro/internal/snapshot"
 )
 
 // RunSM runs Gauss-SM: the shared-memory version the authors wrote from the
@@ -48,6 +49,15 @@ func RunSM(cfg cost.Config, par Params) *Output {
 
 		// Each processor fills its own rows of the shared matrix.
 		mask := nd.AllocI(rpp) // private retirement mask, as in the paper
+		nd.OnState(func(enc *snapshot.Enc) {
+			if me == 0 { // shared vectors, encoded once
+				enc.F64s(A.V)
+				enc.F64s(x.V)
+				enc.F64s(pvVal.V)
+				enc.I64s(pvIdx.V)
+			}
+			enc.I64s(mask.V)
+		})
 		for r := 0; r < rpp; r++ {
 			row := genRow(par.Seed, lo+r, n)
 			base := (lo + r) * width

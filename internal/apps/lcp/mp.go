@@ -7,6 +7,7 @@ import (
 	"repro/internal/cmmd"
 	"repro/internal/cost"
 	"repro/internal/machine"
+	"repro/internal/snapshot"
 )
 
 // RunMP runs the synchronous message-passing variant (LCP-MP): each
@@ -47,6 +48,10 @@ func runMP(cfg cost.Config, shape cmmd.Shape, par Params, async bool) *Output {
 		// own segment for the convergence norm.
 		z := nd.AllocF(par.N)
 		zprev := nd.AllocF(rpp)
+		nd.OnState(func(enc *snapshot.Enc) {
+			enc.F64s(z.V)
+			enc.F64s(zprev.V)
+		})
 		// Private copies of my matrix rows (values, columns, diagonal, q).
 		mvals := nd.AllocF(rpp * par.NNZ)
 		mcols := nd.AllocI(rpp * par.NNZ)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/memsim"
 	"repro/internal/parmacs"
+	"repro/internal/snapshot"
 )
 
 // RunSM runs the synchronous shared-memory variant (LCP-SM): a single
@@ -62,6 +63,14 @@ func runSM(cfg cost.Config, par Params, async bool) *Output {
 		mcols := nd.AllocI(rpp * par.NNZ)
 		zloc := nd.AllocF(par.N) // local copy (synchronous variant)
 		zprev := nd.AllocF(rpp)
+		nd.OnState(func(enc *snapshot.Enc) {
+			if me == 0 { // shared vectors, encoded once
+				enc.F64s(zg.V)
+				enc.I64s(done.V)
+			}
+			enc.F64s(zloc.V)
+			enc.F64s(zprev.V)
+		})
 		for r := 0; r < rpp; r++ {
 			gi := lo + r
 			copy(mvals.V[r*par.NNZ:], pr.vals[gi])

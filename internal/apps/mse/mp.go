@@ -1,10 +1,13 @@
 package mse
 
 import (
+	"sort"
+
 	"repro/internal/cmmd"
 	"repro/internal/cost"
 	"repro/internal/machine"
 	"repro/internal/ni"
+	"repro/internal/snapshot"
 )
 
 // RunMP runs MSE-MP. Each processor keeps a local copy of the solution
@@ -41,6 +44,20 @@ func RunMP(cfg cost.Config, shape cmmd.Shape, par Params) *Output {
 		pub := map[int][]float64{0: make([]float64, epp)}
 		pubIter := 0
 		scratch := nd.AllocF(epp)
+		nd.OnState(func(enc *snapshot.Enc) {
+			enc.F64s(xsnap.V)
+			enc.F64s(scratch.V)
+			enc.I64(int64(pubIter))
+			iters := make([]int, 0, len(pub))
+			for it := range pub {
+				iters = append(iters, it)
+			}
+			sort.Ints(iters)
+			for _, it := range iters {
+				enc.I64(int64(it))
+				enc.F64s(pub[it])
+			}
+		})
 
 		// Receive channels: one per peer, over that peer's segment of my
 		// local copy; opened in ascending peer order so ids are symmetric.

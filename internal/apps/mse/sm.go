@@ -5,6 +5,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/memsim"
 	"repro/internal/parmacs"
+	"repro/internal/snapshot"
 )
 
 // RunSM runs MSE-SM. The solution vector lives in the shared address space;
@@ -41,6 +42,12 @@ func RunSM(cfg cost.Config, par Params) *Output {
 		// panel workspace for the recomputed matrix blocks.
 		xsnap := nd.AllocF(nm)
 		panel := nd.AllocF(nm * m / 2)
+		nd.OnState(func(enc *snapshot.Enc) {
+			if me == 0 { // shared vector, encoded once
+				enc.F64s(xg.V)
+			}
+			enc.F64s(xsnap.V)
+		})
 		nd.Compute(int64(epp) * cInit)
 		xg.WriteRange(mem, me*epp, (me+1)*epp)
 		nd.Barrier() // the single barrier between init and main loop

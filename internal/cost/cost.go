@@ -121,6 +121,16 @@ type Config struct {
 	// coherence request, charged to the DirRetry category on top of the
 	// backoff wait. Only incurred when SMFaults is non-nil.
 	NACKRetryCycles int64
+
+	// OnBuild, when non-nil, is invoked once at the end of machine
+	// construction with the assembled machine (*machine.MPMachine or
+	// *machine.SMMachine), before any simulated cycle runs. It exists so
+	// callers that only reach the machine through an application's Run
+	// function (which builds and runs in one step) can still install
+	// engine hooks — the checkpoint/restart runner uses it to attach its
+	// quantum-boundary snapshot trigger. The callback must not start the
+	// run itself. Typed any because cost sits below the machine package.
+	OnBuild func(m any) `json:"-"`
 }
 
 // SMFaultsConfig is the shared-memory fault-injection specification: one

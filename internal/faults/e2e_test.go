@@ -12,6 +12,8 @@ import (
 
 	"repro/internal/apps/em3d"
 	"repro/internal/apps/gauss"
+	"repro/internal/apps/lcp"
+	"repro/internal/apps/mse"
 	"repro/internal/cmmd"
 	"repro/internal/cost"
 	"repro/internal/faults"
@@ -91,12 +93,19 @@ func TestFaultsOffBitIdenticalToSeed(t *testing.T) {
 	em := em3d.RunMP(cost.Default(8), cmmd.LopSided,
 		em3d.Params{NodesPer: 100, Degree: 4, RemotePct: 20, Iters: 10, Seed: 1})
 	ga := gauss.RunMP(cost.Default(8), cmmd.LopSided, gauss.Params{N: 64, Seed: 1})
+	lc := lcp.RunMP(cost.Default(4), cmmd.LopSided, lcp.Params{
+		N: 256, NNZ: 16, Sweeps: 2, MaxSteps: 5, Tol: 1e-6, Omega: 1.0,
+		LocalFrac: 0.5, DiagFactor: 1.2, Seed: 1})
+	ms := mse.RunMP(cost.Default(4), cmmd.LopSided, mse.Params{
+		Bodies: 64, Elems: 8, Iters: 3, Seed: 1})
 	for _, c := range []struct {
 		g   golden
 		res *machine.Result
 	}{
 		{golden{"em3d", 1244929, 1244929, 1086591, 101271, 38588, 963}, em.Res},
 		{golden{"gauss", 722408, 722408, 371364, 320022, 28908, 658}, ga.Res},
+		{golden{"lcp", 416874, 416874, 336080, 47725, 19525, 488}, lc.Res},
+		{golden{"mse", 29529024, 29529024, 28559460, 626712, 23423, 585}, ms.Res},
 	} {
 		s := c.res.Summary
 		if c.res.Err != nil {

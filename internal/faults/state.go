@@ -1,0 +1,25 @@
+package faults
+
+import "repro/internal/snapshot"
+
+// EncodeState contributes the fault plan's replay-relevant state: the RNG
+// position and the consultation count. The compiled schedule itself is
+// configuration, reconstructed from the run spec, so only the cursor into
+// the random stream needs to be pinned.
+func (p *Plan) EncodeState(enc *snapshot.Enc) {
+	enc.Section("faultplan", func(enc *snapshot.Enc) {
+		enc.U64(p.rng.State())
+		enc.I64(p.Decisions)
+	})
+}
+
+// EncodeState contributes the control-fault plan's replay-relevant state:
+// RNG position plus the decision/NACK/delay tallies.
+func (p *CtrlPlan) EncodeState(enc *snapshot.Enc) {
+	enc.Section("ctrlplan", func(enc *snapshot.Enc) {
+		enc.U64(p.rng.State())
+		enc.I64(p.Decisions)
+		enc.I64(p.NACKs)
+		enc.I64(p.Delayed)
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/ni"
 	"repro/internal/parmacs"
 	"repro/internal/sim"
+	"repro/internal/snapshot"
 	"repro/internal/stats"
 )
 
@@ -53,7 +54,15 @@ type MPNode struct {
 	Cfg   *cost.Config
 	Space *memsim.AddrSpace
 	Procs int
+
+	appState []func(*snapshot.Enc)
 }
+
+// OnState registers an application state contributor: at every snapshot the
+// callbacks run in registration order and append the program's computation
+// state (principal arrays, counters) to the canonical encoding. Programs
+// register their arrays right after allocating them.
+func (n *MPNode) OnState(fn func(*snapshot.Enc)) { n.appState = append(n.appState, fn) }
 
 // Compute charges c cycles of application computation.
 func (n *MPNode) Compute(c int64) { n.P.Compute(c) }
@@ -86,6 +95,7 @@ func (n *MPNode) Barrier() { n.EP.Barrier() }
 type MPMachine struct {
 	Eng   *sim.Engine
 	Net   *ni.Network
+	Bar   *sim.Barrier
 	Nodes []*MPNode
 }
 
@@ -113,7 +123,7 @@ func NewMP(cfg cost.Config, shape cmmd.Shape, program func(n *MPNode)) *MPMachin
 		grp = am.NewGroup()
 	}
 
-	m := &MPMachine{Eng: eng, Net: net}
+	m := &MPMachine{Eng: eng, Net: net, Bar: bar}
 	m.Nodes = make([]*MPNode, c.Procs)
 	for i := 0; i < c.Procs; i++ {
 		i := i
@@ -135,6 +145,9 @@ func NewMP(cfg cost.Config, shape cmmd.Shape, program func(n *MPNode)) *MPMachin
 			ID: i, P: p, Mem: mem, NI: nif, AM: a, EP: ep, Comm: comm,
 			Cfg: &c, Space: space, Procs: c.Procs,
 		}
+	}
+	if c.OnBuild != nil {
+		c.OnBuild(m)
 	}
 	return m
 }
@@ -167,7 +180,12 @@ type SMNode struct {
 	Cfg   *cost.Config
 	Space *memsim.AddrSpace
 	Procs int
+
+	appState []func(*snapshot.Enc)
 }
+
+// OnState registers an application state contributor; see MPNode.OnState.
+func (n *SMNode) OnState(fn func(*snapshot.Enc)) { n.appState = append(n.appState, fn) }
 
 // Compute charges c cycles of application computation.
 func (n *SMNode) Compute(c int64) { n.P.Compute(c) }
@@ -242,6 +260,9 @@ func NewSM(cfg cost.Config, policy parmacs.Policy, program func(n *SMNode)) *SMM
 			ID: i, P: p, Mem: mem, Pr: pr, RT: rt,
 			Cfg: &c, Space: space, Procs: c.Procs,
 		}
+	}
+	if c.OnBuild != nil {
+		c.OnBuild(m)
 	}
 	return m
 }

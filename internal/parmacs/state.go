@@ -1,0 +1,18 @@
+package parmacs
+
+import "repro/internal/snapshot"
+
+// EncodeState contributes the parmacs runtime's image: CREATE bookkeeping
+// (whether the world has started, when, and who is still parked waiting for
+// it) and the lock-allocation serial.
+func (rt *Runtime) EncodeState(enc *snapshot.Enc) {
+	enc.Section("parmacs", func(enc *snapshot.Enc) {
+		enc.Bool(rt.created)
+		enc.I64(int64(rt.createTime))
+		enc.U32(uint32(len(rt.startWait)))
+		for _, p := range rt.startWait {
+			enc.I64(int64(p.ID))
+		}
+		enc.I64(int64(rt.lockSerial))
+	})
+}

@@ -63,6 +63,14 @@ type Engine struct {
 	// see AddWatchdog. Empty unless a robustness layer armed one.
 	watchdogs []*Watchdog
 
+	// hooks run at the top of every scheduling iteration, when e.now is a
+	// fresh quantum boundary and no processor is executing — the only
+	// moment all serializable state is quiescent. The checkpoint layer
+	// hangs off this; empty unless armed. Hooks must be pure observers
+	// (plus Abort): mutating simulation state from a hook would diverge a
+	// checkpointed run from an unobserved one.
+	hooks []func(now Time)
+
 	// Trace, when non-nil, receives a line per engine decision. Used by
 	// tests; nil in normal runs.
 	Trace func(format string, args ...any)
@@ -142,6 +150,15 @@ func (e *Engine) Run() error {
 				return e.aborted
 			}
 		}
+		if len(e.hooks) > 0 {
+			for _, h := range e.hooks {
+				h(e.now)
+			}
+			if e.aborted != nil { // a hook stopped the run (e.g. -run-until)
+				e.unwind()
+				return e.aborted
+			}
+		}
 		e.qEnd = e.now + e.Quantum
 
 		// Event phase: handle everything due before the quantum ends.
@@ -198,6 +215,15 @@ func (e *Engine) Run() error {
 		ev.Fn()
 	}
 	return nil
+}
+
+// AddQuantumHook registers fn to run at the top of every scheduling
+// iteration with the current quantum-start time. Times are strictly
+// increasing across calls. Hooks observe; the only mutation they may
+// perform is Abort (how -run-until stops a run). They run after the
+// watchdog check and before the event phase.
+func (e *Engine) AddQuantumHook(fn func(now Time)) {
+	e.hooks = append(e.hooks, fn)
 }
 
 // Abort requests that the run stop with err: at its next scheduling point

@@ -15,6 +15,24 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{s: seed}
 }
 
+// State returns the generator's current position: the full internal state,
+// from which the remaining sequence is completely determined. Snapshots
+// record it so a resumed run can prove its RNG streams sit at exactly the
+// same position as the checkpointed run — silent RNG drift would break
+// replay equivalence undetectably otherwise.
+func (r *RNG) State() uint64 { return r.s }
+
+// Restore rewinds (or advances) the generator to a position previously
+// captured with State. Restoring a zero state panics: no reachable RNG
+// state is zero (xorshift preserves nonzero-ness and NewRNG remaps seed 0),
+// so a zero can only mean a corrupted or uninitialized snapshot.
+func (r *RNG) Restore(state uint64) {
+	if state == 0 {
+		panic("sim: RNG.Restore of zero state (corrupt snapshot?)")
+	}
+	r.s = state
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	s := r.s

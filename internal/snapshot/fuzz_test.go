@@ -1,0 +1,33 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives arbitrary bytes through the snapshot decoder: it must
+// never panic, and anything it accepts must re-encode byte-identically
+// (the decoder admits only canonical images).
+func FuzzDecode(f *testing.F) {
+	r := xorshift(1)
+	valid := Encode(randomSnapshot(&r))
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	// Oversized section length claim.
+	huge := append([]byte(nil), valid[:16]...)
+	huge = append(huge, 0xFF, 0xFF, 0xFF, 0x7F)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(Encode(s), data) {
+			t.Fatalf("accepted non-canonical input: %d bytes", len(data))
+		}
+	})
+}

@@ -1,0 +1,160 @@
+package snapshot
+
+import (
+	"fmt"
+	"os"
+)
+
+// Version is the current snapshot format version. Decoders reject any other
+// version with a *VersionError rather than misinterpreting fields.
+const Version uint32 = 1
+
+// magic identifies a snapshot file. Eight bytes so truncation inside the
+// magic itself is distinguishable from a wrong file type.
+const magic = "WWTSNAP\x00"
+
+// Snapshot is one checkpoint of a simulated run.
+type Snapshot struct {
+	// Spec is the serialized run specification (internal/runner.Spec as
+	// JSON): everything needed to rebuild the identical machine and program.
+	Spec []byte
+
+	// Cycle is the virtual time at which the state was captured — always a
+	// quantum boundary with no processor executing.
+	Cycle int64
+
+	// StateHash is Hash(State), duplicated in the header so resume can
+	// verify replay cheaply and report a divergence without shipping the
+	// full image around.
+	StateHash uint64
+
+	// State is the canonical machine-state image at Cycle: engine, network,
+	// transports, caches, directory, fault-RNG positions, application
+	// arrays. See the package comment for why this is verified, not
+	// restored.
+	State []byte
+
+	// Stats is the canonical accounting image at Cycle (every processor's
+	// full per-phase cycle and count tables), so a resumed run's mid-flight
+	// accounting can be compared byte-for-byte too.
+	Stats []byte
+}
+
+// FormatError reports input that is not a snapshot at all (bad magic,
+// trailing garbage after the checksum).
+type FormatError struct{ Reason string }
+
+func (e *FormatError) Error() string { return "snapshot: not a snapshot file: " + e.Reason }
+
+// VersionError reports a snapshot written by an incompatible format version.
+type VersionError struct{ Got, Want uint32 }
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("snapshot: format version %d (this build reads version %d)", e.Got, e.Want)
+}
+
+// TruncatedError reports input that ended before a field could be read.
+type TruncatedError struct {
+	What   string // the field being read
+	Offset int    // where the read started
+	Size   int    // total input size
+}
+
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("snapshot: truncated input: reading %s at offset %d of %d bytes",
+		e.What, e.Offset, e.Size)
+}
+
+// ChecksumError reports a snapshot whose trailing checksum does not match
+// its contents — bit rot or a partially written file.
+type ChecksumError struct{ Got, Want uint64 }
+
+func (e *ChecksumError) Error() string {
+	return fmt.Sprintf("snapshot: checksum mismatch: file says %#x, contents hash to %#x",
+		e.Want, e.Got)
+}
+
+// Encode serializes s. The layout is: magic, version, cycle, state hash,
+// then length-prefixed spec/state/stats sections, then an FNV-1a checksum
+// of every preceding byte. Encoding is canonical: equal snapshots produce
+// equal bytes.
+func Encode(s *Snapshot) []byte {
+	var e Enc
+	e.b = append(e.b, magic...)
+	e.U32(Version)
+	e.I64(s.Cycle)
+	e.U64(s.StateHash)
+	e.Blob(s.Spec)
+	e.Blob(s.State)
+	e.Blob(s.Stats)
+	e.U64(Hash(e.Bytes()))
+	return e.Bytes()
+}
+
+// Decode parses a snapshot, returning a typed error on bad magic, version
+// mismatch, truncation, checksum failure, or trailing garbage. It never
+// panics on arbitrary input (the fuzz target enforces this).
+func Decode(b []byte) (*Snapshot, error) {
+	if len(b) < len(magic) {
+		return nil, &TruncatedError{What: "magic", Offset: 0, Size: len(b)}
+	}
+	if string(b[:len(magic)]) != magic {
+		return nil, &FormatError{Reason: "bad magic"}
+	}
+	d := NewDec(b)
+	d.take(len(magic), "magic")
+	v := d.U32()
+	if d.Err != nil {
+		return nil, d.Err
+	}
+	if v != Version {
+		return nil, &VersionError{Got: v, Want: Version}
+	}
+	s := &Snapshot{}
+	s.Cycle = d.I64()
+	s.StateHash = d.U64()
+	s.Spec = d.Blob()
+	s.State = d.Blob()
+	s.Stats = d.Blob()
+	body := d.off
+	sum := d.U64()
+	if d.Err != nil {
+		return nil, d.Err
+	}
+	if d.Remaining() != 0 {
+		return nil, &FormatError{Reason: fmt.Sprintf("%d trailing bytes", d.Remaining())}
+	}
+	if got := Hash(b[:body]); got != sum {
+		return nil, &ChecksumError{Got: got, Want: sum}
+	}
+	if h := Hash(s.State); h != s.StateHash {
+		return nil, &FormatError{Reason: fmt.Sprintf(
+			"state hash field %#x does not match state section (%#x)", s.StateHash, h)}
+	}
+	return s, nil
+}
+
+// WriteFile atomically writes the encoded snapshot to path (write to a
+// temporary file in the same directory, then rename), so a run killed
+// mid-checkpoint never leaves a torn file that a later resume would trip
+// over.
+func WriteFile(path string, s *Snapshot) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, Encode(s), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// ReadFile reads and decodes a snapshot file.
+func ReadFile(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(b)
+}

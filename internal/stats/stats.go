@@ -7,7 +7,11 @@
 // its initialization and main loop separately (paper Tables 12 and 14).
 package stats
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/snapshot"
+)
 
 // Category identifies where a processor's cycles were spent. The categories
 // are the union of the message-passing breakdown (computation, local misses,
@@ -245,6 +249,21 @@ func (a *Acct) TotalCycles(p Phase) int64 {
 		t += a.Cycles(p, c)
 	}
 	return t
+}
+
+// EncodeState contributes the full accounting table — every phase's raw
+// cycle and count totals plus the current phase — to a canonical state
+// image. Raw int64s, not the float per-processor averages the reports
+// print, so equality is exact bit equality.
+func (a *Acct) EncodeState(enc *snapshot.Enc) {
+	enc.Section("acct", func(enc *snapshot.Enc) {
+		enc.I64(int64(a.cur))
+		enc.U32(uint32(len(a.phases)))
+		for i := range a.phases {
+			enc.I64s(a.phases[i].cycles[:])
+			enc.I64s(a.phases[i].counts[:])
+		}
+	})
 }
 
 // Summary aggregates the accounting of all processors: the per-processor
