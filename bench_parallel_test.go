@@ -1,0 +1,59 @@
+// Serial-vs-parallel host-execution benchmarks for the conservative-window
+// worker pool (cost.Config.Workers). Every variant of one app/machine pair
+// simulates the identical experiment and — by the engine's staging contract —
+// produces the identical fingerprint; only host wall-clock (ns/op) may
+// differ. Compare workers=1 against workers=N on a multi-core host to
+// measure the processor-phase speedup; on a single-core host the pool
+// degrades to a small handshake overhead.
+//
+//	go test -bench=BenchmarkWorkers -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/apps/em3d"
+	"repro/internal/apps/gauss"
+	"repro/internal/cmmd"
+)
+
+// workerCounts picks the pool sizes worth measuring on this host: serial,
+// and — when the host has the cores for it — 2, 4, and NumCPU. Serial is
+// always first so benchstat diffs read baseline-first.
+func workerCounts() []int {
+	counts := []int{1}
+	for _, n := range []int{2, 4, runtime.NumCPU()} {
+		if n > counts[len(counts)-1] {
+			counts = append(counts, n)
+		}
+	}
+	return counts
+}
+
+func BenchmarkWorkersEM3D_MP(b *testing.B) {
+	for _, w := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := fullCfg()
+			cfg.Workers = w
+			for i := 0; i < b.N; i++ {
+				out := em3d.RunMP(cfg, cmmd.LopSided, em3d.DefaultParams())
+				report(b, out.Res)
+			}
+		})
+	}
+}
+
+func BenchmarkWorkersGauss_SM(b *testing.B) {
+	for _, w := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := fullCfg()
+			cfg.Workers = w
+			for i := 0; i < b.N; i++ {
+				out := gauss.RunSM(cfg, gaussPar())
+				report(b, out.Res)
+			}
+		})
+	}
+}

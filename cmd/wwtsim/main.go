@@ -13,7 +13,7 @@
 //	       [-smcheck] [-smfaults] [-nackrate P] [-reorderrate P]
 //	       [-watchdog CYCLES]
 //	       [-checkpoint-every CYCLES] [-checkpoint-dir DIR]
-//	       [-resume FILE] [-run-until CYCLE]
+//	       [-resume FILE] [-run-until CYCLE] [-workers N]
 //
 // -faults enables deterministic fault injection on the message-passing
 // machine's network (drops, duplicates, corruption, delay jitter at the
@@ -32,6 +32,12 @@
 // counters; -faultseed seeds it. -watchdog N aborts with a stall report if
 // requests stay outstanding for N cycles with no transaction granting
 // (simulated livelock).
+//
+// -workers N bounds how many simulated processors execute concurrently on
+// host cores within each quantum (0 = all cores, 1 = serial). It is a pure
+// host-throughput knob: the conservative-window engine stages and merges
+// cross-processor events deterministically, so every -workers value prints
+// the identical stats fingerprint.
 //
 // -checkpoint-every N writes a snapshot (ckpt-<cycle>.wws in
 // -checkpoint-dir) at the first quantum boundary at or after every N
@@ -82,6 +88,7 @@ func main() {
 	ckDir := flag.String("checkpoint-dir", ".", "directory for checkpoint files")
 	resume := flag.String("resume", "", "resume (replay + verify) from a snapshot file")
 	runUntil := flag.Int64("run-until", 0, "stop cleanly at the first quantum boundary at or after this cycle (0 = off)")
+	workers := flag.Int("workers", 0, "host worker pool for the processor phase (0 = GOMAXPROCS, 1 = serial); fingerprint-neutral")
 	flag.Parse()
 
 	for _, r := range []struct {
@@ -97,10 +104,14 @@ func main() {
 		fatal("-checkpoint-every and -run-until must be non-negative")
 	}
 
+	if *workers < 0 {
+		fatal("-workers must be non-negative")
+	}
 	opts := runner.Options{
 		CheckpointEvery: sim.Time(*ckEvery),
 		CheckpointDir:   *ckDir,
 		RunUntil:        sim.Time(*runUntil),
+		Workers:         *workers,
 	}
 
 	var spec runner.Spec

@@ -37,17 +37,37 @@ import (
 // machine: a node may only stop servicing the network once no peer has
 // unacknowledged packets left, or a peer's final retransmissions would
 // starve.
+//
+// Quiet reads the members' counts as published at the last quantum boundary
+// rather than live: a shutting-down node polls Quiet from processor context
+// while its peers are still executing, and the published snapshot is both
+// race-free and identical however the host interleaved the quantum.
 type Group struct {
 	members []*Reliable
 }
 
-// NewGroup creates an empty transport group.
-func NewGroup() *Group { return &Group{} }
+// NewGroup creates an empty transport group, registering the
+// quantum-boundary publication of members' shutdown progress on eng.
+func NewGroup(eng *sim.Engine) *Group {
+	g := &Group{}
+	eng.AddPublisher(func(sim.Time) {
+		for _, r := range g.members {
+			r.published = r.outstanding
+			r.pubDown = r.down
+		}
+	})
+	return g
+}
 
-// Quiet reports whether no member has unacknowledged packets outstanding.
+// Quiet reports whether, as of the last quantum boundary, every member had
+// entered Shutdown with no unacknowledged packets outstanding. Requiring
+// shutdown arrival — not just empty windows — keeps a node that finishes
+// its program early servicing the network until its peers are genuinely
+// done, rather than deciding from a moment when they simply had not sent
+// anything yet.
 func (g *Group) Quiet() bool {
 	for _, r := range g.members {
-		if r.outstanding > 0 {
+		if !r.pubDown || r.published > 0 {
 			return false
 		}
 	}
@@ -85,8 +105,15 @@ type Reliable struct {
 	peers []*relPeer
 
 	// outstanding is the total unacked packet count across peers, kept so
-	// the per-poll progress scan is O(1) when nothing is pending.
+	// the per-poll progress scan is O(1) when nothing is pending. down is
+	// set by the owning processor when it enters Shutdown. published and
+	// pubDown are their values at the last quantum boundary (see Group):
+	// derived state, recomputed every quantum, that therefore stays out of
+	// the snapshot encoders.
 	outstanding int
+	down        bool
+	published   int
+	pubDown     bool
 }
 
 // NewReliable layers the transport over a, for a machine of nodes
@@ -311,6 +338,7 @@ func (r *Reliable) Flush() {
 // and it can only stop once we re-ack. Idle waiting here is charged to
 // LibComp like any other end-of-program load imbalance.
 func (r *Reliable) Shutdown() {
+	r.down = true
 	for {
 		r.Flush()
 		if r.grp == nil || r.grp.Quiet() {

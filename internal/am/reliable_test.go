@@ -35,7 +35,7 @@ func newRelRig(t *testing.T, plan *faults.Plan, body0, body1 func(p *sim.Proc, r
 	rig.eng = sim.NewEngine(cfg.NetLatency)
 	rig.net = ni.NewNetwork(rig.eng, &cfg)
 	rig.net.Faults = plan
-	grp := am.NewGroup()
+	grp := am.NewGroup(rig.eng)
 	p0 := rig.eng.AddProc(func(p *sim.Proc) {
 		body0(p, rig)
 		rig.rels[0].Shutdown()

@@ -18,6 +18,7 @@ package coherence
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cost"
 	"repro/internal/faults"
@@ -35,7 +36,10 @@ type Protocol struct {
 	nodes  []*node
 	pshift uint
 
-	// Aggregate transaction counters, for tests and reports.
+	// Aggregate transaction counters, for tests and reports. Reads, Writes,
+	// Upgrades, and Writebacks are bumped from processor context (atomically
+	// — requesters on different nodes run concurrently within a quantum);
+	// the rest are only touched by directory events (engine context).
 	Reads, Writes, Upgrades, Writebacks, Invals int64
 	QueueDelay, QueueEvents                     int64
 	NACKsSent                                   int64
@@ -54,8 +58,10 @@ type Protocol struct {
 	forensics bool
 
 	// outstanding counts requests issued but not yet granted, so the
-	// watchdog knows whether quiet means idle or stalled.
-	outstanding int
+	// watchdog knows whether quiet means idle or stalled. Accessed
+	// atomically: requesters increment concurrently, the engine's watchdog
+	// gate reads at quantum boundaries.
+	outstanding int64
 }
 
 type node struct {
@@ -175,7 +181,7 @@ func (pr *Protocol) CtrlPlan() *faults.CtrlPlan { return pr.ctrl }
 // be called before the simulation starts.
 func (pr *Protocol) EnableWatchdog(window sim.Time) *sim.Watchdog {
 	pr.wd = pr.Eng.AddWatchdog("coherence", window,
-		func() bool { return pr.outstanding > 0 }, pr.stallReport)
+		func() bool { return atomic.LoadInt64(&pr.outstanding) > 0 }, pr.stallReport)
 	pr.forensics = true
 	return pr.wd
 }
@@ -243,7 +249,7 @@ func (pr *Protocol) ReadMiss(m *memsim.Mem, block uint64) {
 	} else {
 		p.Acct.Add(stats.CntSharedMissRemote, 1)
 	}
-	pr.Reads++
+	atomic.AddInt64(&pr.Reads, 1)
 	p.ChargeStall(cat, pr.Cfg.SharedMissCycles)
 	pr.issue(home, request{kind: reqGETS, block: block, reqID: p.ID, m: m},
 		cat, "shared read miss")
@@ -261,7 +267,7 @@ func (pr *Protocol) WriteAccess(m *memsim.Mem, block uint64, resident uint8) {
 		cat = p.WriteFaultCategory()
 		p.Acct.Add(stats.CntWriteFaults, 1)
 		kind = reqUPGRADE
-		pr.Upgrades++
+		atomic.AddInt64(&pr.Upgrades, 1)
 	} else {
 		cat = p.SharedMissCategory()
 		if home == p.ID {
@@ -270,7 +276,7 @@ func (pr *Protocol) WriteAccess(m *memsim.Mem, block uint64, resident uint8) {
 			p.Acct.Add(stats.CntSharedMissRemote, 1)
 		}
 		kind = reqGETX
-		pr.Writes++
+		atomic.AddInt64(&pr.Writes, 1)
 	}
 	p.ChargeStall(cat, pr.Cfg.SharedMissCycles)
 	pr.issue(home, request{kind: kind, block: block, reqID: p.ID, m: m},
@@ -287,13 +293,11 @@ func (pr *Protocol) WriteAccess(m *memsim.Mem, block uint64, resident uint8) {
 func (pr *Protocol) issue(home int, r request, cat stats.Category, why string) {
 	p := r.m.P
 	if pr.wd != nil {
-		if pr.outstanding == 0 {
-			// First request after a quiet period: restart the watchdog
-			// window from here, not from the last pre-quiet grant.
-			pr.wd.Progress(p.Clock())
-		}
-		pr.outstanding++
-		defer func() { pr.outstanding-- }()
+		// The engine restarts the watchdog window itself when it observes
+		// the quiet→active transition at a quantum boundary; issue only
+		// maintains the outstanding count the activity gate reads.
+		atomic.AddInt64(&pr.outstanding, 1)
+		defer atomic.AddInt64(&pr.outstanding, -1)
 	}
 	firstSent := p.Clock()
 	retries := 0
@@ -302,7 +306,7 @@ func (pr *Protocol) issue(home int, r request, cat stats.Category, why string) {
 		pr.note(p.ID, p.Clock(), "sent %v %#x to home %d", r.kind, r.block, home)
 		pr.countMsg(p.ID, home, false)
 		arrive := p.Clock() + pr.latency(p.ID, home)
-		pr.Eng.Schedule(arrive, func() { pr.dirHandle(home, r, arrive) })
+		p.Schedule(arrive, func() { pr.dirHandle(home, r, arrive) })
 		info := p.Block(cat, why).(wakeInfo)
 		if !info.nacked {
 			p.ChargeStall(cat, info.replCycles)
@@ -350,7 +354,7 @@ func (pr *Protocol) installAt(m *memsim.Mem, block uint64, state uint8, at sim.T
 		return pr.Cfg.ReplSharedClean
 	default: // dirty shared victim: write back from event context
 		home := pr.homeOf(victim.Tag)
-		pr.Writebacks++
+		atomic.AddInt64(&pr.Writebacks, 1)
 		pr.countMsg(m.P.ID, home, true)
 		from := m.P.ID
 		wbArrive := at + pr.latency(from, home)
@@ -371,12 +375,12 @@ func (pr *Protocol) Evict(m *memsim.Mem, victim memsim.Line, cat stats.Category)
 	}
 	p.ChargeStall(cat, pr.Cfg.ReplSharedDirty)
 	home := pr.homeOf(victim.Tag)
-	pr.Writebacks++
+	atomic.AddInt64(&pr.Writebacks, 1)
 	pr.countMsg(p.ID, home, true)
 	from := p.ID
 	arrive := p.Clock() + pr.latency(p.ID, home)
 	block := victim.Tag
-	pr.Eng.Schedule(arrive, func() { pr.dirWriteback(home, block, from, arrive) })
+	p.Schedule(arrive, func() { pr.dirWriteback(home, block, from, arrive) })
 }
 
 // Flush implements memsim.SharedHandler: an explicit software flush. Dirty
@@ -396,7 +400,7 @@ func (pr *Protocol) Flush(m *memsim.Mem, victim memsim.Line, cat stats.Category)
 	from := p.ID
 	arrive := p.Clock() + pr.latency(p.ID, home)
 	block := victim.Tag
-	pr.Eng.Schedule(arrive, func() {
+	p.Schedule(arrive, func() {
 		e := pr.entryOf(home, block)
 		// Advisory: ignore if a transaction is mid-flight for the block.
 		if !e.busy && e.state == dirShared {

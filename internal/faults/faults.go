@@ -6,14 +6,18 @@
 //
 // A Plan is a schedule of fault rates — per network link and per virtual-time
 // epoch — consulted by ni.Network on every packet injection. All randomness
-// comes from a seeded sim.RNG drawn in injection order, so a run with the
-// same configuration and seed reproduces the identical fault sequence
-// bit-for-bit, which the determinism tests rely on.
+// comes from seeded sim.RNG streams, one per source node, each drawn in that
+// node's injection order: a run with the same configuration and seed
+// reproduces the identical fault sequence bit-for-bit (which the determinism
+// tests rely on) even when the engine dispatches the sending processors
+// concurrently, because no stream is shared between processors.
 package faults
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cost"
 	"repro/internal/sim"
@@ -67,13 +71,20 @@ type Decision struct {
 	CorruptBit int
 }
 
-// Plan is a compiled fault schedule plus its RNG. It is consulted once per
-// packet injection, in simulation order.
+// Plan is a compiled fault schedule plus its randomness. Each source node
+// draws from its own seeded stream (created on first use), so concurrently
+// executing senders never contend for — or nondeterministically interleave
+// on — a shared RNG. The mutex only guards the stream map; a stream itself
+// is drawn from exclusively by its source node's processor.
 type Plan struct {
-	rng    *sim.RNG
+	seed   uint64
 	epochs []Epoch
 
-	// Decisions tallies consultations, for tests and reports.
+	mu      sync.Mutex
+	streams map[int]*sim.RNG
+
+	// Decisions tallies consultations, for tests and reports. Updated
+	// atomically: injections on different nodes race otherwise.
 	Decisions int64
 }
 
@@ -82,7 +93,21 @@ type Plan struct {
 func NewPlan(seed uint64, epochs []Epoch) *Plan {
 	es := append([]Epoch(nil), epochs...)
 	sort.SliceStable(es, func(i, j int) bool { return es[i].Start < es[j].Start })
-	return &Plan{rng: sim.NewRNG(seed), epochs: es}
+	return &Plan{seed: seed, epochs: es, streams: make(map[int]*sim.RNG)}
+}
+
+// stream returns src's private RNG, creating it deterministically from the
+// plan seed on first use. Stream contents depend only on (seed, src), never
+// on creation order.
+func (p *Plan) stream(src int) *sim.RNG {
+	p.mu.Lock()
+	r := p.streams[src]
+	if r == nil {
+		r = sim.NewRNG(p.seed + uint64(int64(src)+1)*0x9E3779B97F4A7C15)
+		p.streams[src] = r
+	}
+	p.mu.Unlock()
+	return r
 }
 
 // Uniform builds the common case: one rate set on every link for the whole
@@ -124,30 +149,32 @@ func (p *Plan) rates(now sim.Time, src, dst int) (Rates, bool) {
 }
 
 // Decide draws the fate of one packet injected at time now from src to dst.
-// Draw order is fixed so that identical seeds replay identical sequences.
+// Draw order within a source's stream is fixed, so identical seeds replay
+// identical sequences regardless of how sends on different nodes interleave.
 func (p *Plan) Decide(now sim.Time, src, dst int) Decision {
-	p.Decisions++
+	atomic.AddInt64(&p.Decisions, 1)
 	r, ok := p.rates(now, src, dst)
 	if !ok || r.Zero() {
 		return Decision{}
 	}
+	rng := p.stream(src)
 	var d Decision
-	if r.Drop > 0 && p.rng.Float64() < r.Drop {
+	if r.Drop > 0 && rng.Float64() < r.Drop {
 		d.Drop = true
 		return d // a lost packet consumes no further draws
 	}
-	if r.Dup > 0 && p.rng.Float64() < r.Dup {
+	if r.Dup > 0 && rng.Float64() < r.Dup {
 		d.Dup = true
 	}
-	if r.Corrupt > 0 && p.rng.Float64() < r.Corrupt {
+	if r.Corrupt > 0 && rng.Float64() < r.Corrupt {
 		d.Corrupt = true
-		d.CorruptBit = p.rng.Intn(160)
+		d.CorruptBit = rng.Intn(160)
 	}
-	if r.Delay > 0 && r.MaxDelay > 0 && p.rng.Float64() < r.Delay {
-		d.Delay = sim.Time(1 + p.rng.Intn(int(r.MaxDelay)))
+	if r.Delay > 0 && r.MaxDelay > 0 && rng.Float64() < r.Delay {
+		d.Delay = sim.Time(1 + rng.Intn(int(r.MaxDelay)))
 	}
-	if d.Dup && r.Delay > 0 && r.MaxDelay > 0 && p.rng.Float64() < r.Delay {
-		d.DupDelay = sim.Time(1 + p.rng.Intn(int(r.MaxDelay)))
+	if d.Dup && r.Delay > 0 && r.MaxDelay > 0 && rng.Float64() < r.Delay {
+		d.DupDelay = sim.Time(1 + rng.Intn(int(r.MaxDelay)))
 	}
 	return d
 }

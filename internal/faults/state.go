@@ -1,14 +1,30 @@
 package faults
 
-import "repro/internal/snapshot"
+import (
+	"sort"
 
-// EncodeState contributes the fault plan's replay-relevant state: the RNG
-// position and the consultation count. The compiled schedule itself is
-// configuration, reconstructed from the run spec, so only the cursor into
-// the random stream needs to be pinned.
+	"repro/internal/snapshot"
+)
+
+// EncodeState contributes the fault plan's replay-relevant state: each
+// source node's RNG position (sorted by node, since map order and stream
+// creation order are not meaningful) and the consultation count. The
+// compiled schedule itself is configuration, reconstructed from the run
+// spec, so only the cursors into the random streams need to be pinned.
 func (p *Plan) EncodeState(enc *snapshot.Enc) {
 	enc.Section("faultplan", func(enc *snapshot.Enc) {
-		enc.U64(p.rng.State())
+		p.mu.Lock()
+		srcs := make([]int, 0, len(p.streams))
+		for src := range p.streams {
+			srcs = append(srcs, src)
+		}
+		sort.Ints(srcs)
+		enc.U32(uint32(len(srcs)))
+		for _, src := range srcs {
+			enc.I64(int64(src))
+			enc.U64(p.streams[src].State())
+		}
+		p.mu.Unlock()
 		enc.I64(p.Decisions)
 	})
 }

@@ -107,6 +107,7 @@ func NewMP(cfg cost.Config, shape cmmd.Shape, program func(n *MPNode)) *MPMachin
 	}
 	c := cfg // one copy shared by all nodes
 	eng := sim.NewEngine(c.NetLatency)
+	eng.Workers = c.Workers
 	net := ni.NewNetwork(eng, &c)
 	bar := sim.NewBarrier(eng, c.Procs, c.BarrierLatency)
 	space := memsim.NewAddrSpace(c.Procs, c.BlockBytes)
@@ -120,7 +121,7 @@ func NewMP(cfg cost.Config, shape cmmd.Shape, program func(n *MPNode)) *MPMachin
 	if c.Faults != nil {
 		fc = c.Faults.WithDefaults(c.NetLatency)
 		net.Faults = faults.FromConfig(fc)
-		grp = am.NewGroup()
+		grp = am.NewGroup(eng)
 	}
 
 	m := &MPMachine{Eng: eng, Net: net, Bar: bar}
@@ -228,6 +229,7 @@ func NewSM(cfg cost.Config, policy parmacs.Policy, program func(n *SMNode)) *SMM
 	}
 	c := cfg
 	eng := sim.NewEngine(c.NetLatency)
+	eng.Workers = c.Workers
 	bar := sim.NewBarrier(eng, c.Procs, c.BarrierLatency)
 	space := memsim.NewAddrSpace(c.Procs, c.BlockBytes)
 	pr := coherence.New(eng, &c)

@@ -13,6 +13,7 @@ package ni
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cost"
 	"repro/internal/faults"
@@ -73,7 +74,10 @@ type Network struct {
 	// Injected == Delivered; with faults the invariant generalizes to
 	// Injected + Duplicated == Delivered + Dropped (every copy the network
 	// created or destroyed is accounted). Corrupted counts packets
-	// delivered with a flipped bit (they are also Delivered).
+	// delivered with a flipped bit (they are also Delivered). Injection-side
+	// counters are bumped atomically — senders on different nodes run
+	// concurrently within a quantum; Delivered is only touched by delivery
+	// events (engine context).
 	Injected, Delivered, Dropped, Duplicated, Corrupted int64
 }
 
@@ -163,35 +167,37 @@ func (ni *NI) Send(pkt Packet) {
 
 	pkt.Src = ni.Node
 	pkt.Arrive = p.Clock() + ni.Cfg.NetLatency
-	ni.net.Injected++
+	atomic.AddInt64(&ni.net.Injected, 1)
 	dstNI := ni.net.nis[dst]
 
 	if plan := ni.net.Faults; plan != nil {
 		d := plan.Decide(p.Clock(), ni.Node, dst)
 		if d.Drop {
-			ni.net.Dropped++
+			atomic.AddInt64(&ni.net.Dropped, 1)
 			p.Acct.Add(stats.CntDropped, 1)
 			return
 		}
 		if d.Corrupt {
-			ni.net.Corrupted++
+			atomic.AddInt64(&ni.net.Corrupted, 1)
 			pkt.Corrupt = true
 			corrupt(&pkt, d.CorruptBit)
 		}
 		pkt.Arrive += d.Delay
 		if d.Dup {
-			ni.net.Duplicated++
+			atomic.AddInt64(&ni.net.Duplicated, 1)
 			dup := pkt
 			dup.Arrive = p.Clock() + ni.Cfg.NetLatency + d.DupDelay
-			ni.net.deliver(dstNI, dup)
+			ni.net.deliver(p, dstNI, dup)
 		}
 	}
-	ni.net.deliver(dstNI, pkt)
+	ni.net.deliver(p, dstNI, pkt)
 }
 
-// deliver schedules pkt's arrival at dst.
-func (n *Network) deliver(dst *NI, pkt Packet) {
-	n.Eng.Schedule(pkt.Arrive, func() {
+// deliver stages pkt's arrival at dst on behalf of the sending processor;
+// the delivery itself runs in a later event phase, the only context allowed
+// to touch the destination's queue and wake its processor.
+func (n *Network) deliver(sender *sim.Proc, dst *NI, pkt Packet) {
+	sender.Schedule(pkt.Arrive, func() {
 		dst.inq = append(dst.inq, pkt)
 		n.Delivered++
 		if dst.waiter {
@@ -283,7 +289,7 @@ func (ni *NI) WaitPacketUntil(cat stats.Category, deadline sim.Time) {
 			return
 		}
 		ni.waiter = true
-		ni.net.Eng.Schedule(deadline, func() {
+		p.Schedule(deadline, func() {
 			if ni.waiter {
 				ni.waiter = false
 				ni.P.Wake(deadline, nil)

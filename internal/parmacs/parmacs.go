@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
+	"sync"
 
 	"repro/internal/coherence"
 	"repro/internal/cost"
@@ -38,10 +40,15 @@ type Runtime struct {
 	Bar    *sim.Barrier
 	Policy Policy
 
-	created    bool
-	createTime sim.Time
-	startWait  []*sim.Proc
-	lockSerial int
+	// created flips to true in the create event (engine context), so every
+	// processor observes the same quantum-stable value; the mutex guards the
+	// waiter list, which concurrently dispatched processors append to.
+	created      bool
+	createTime   sim.Time
+	createCalled bool // set synchronously by node 0, for double-call detection
+	mu           sync.Mutex
+	startWait    []*sim.Proc
+	lockSerial   int
 }
 
 // NewRuntime wires the parmacs layer to the coherence protocol and barrier.
@@ -93,12 +100,14 @@ func (rt *Runtime) WaitCreate(p *sim.Proc) {
 		return
 	}
 	if rt.created {
-		// Node 0 already called Create (it runs first within the quantum);
-		// idle until the creation time.
+		// The create event has already fired (in an earlier quantum's event
+		// phase); idle until the creation time.
 		p.WaitUntil(rt.createTime, stats.StartupWait)
 		return
 	}
+	rt.mu.Lock()
 	rt.startWait = append(rt.startWait, p)
+	rt.mu.Unlock()
 	p.Block(stats.StartupWait, "waiting for create()")
 }
 
@@ -110,15 +119,24 @@ func (rt *Runtime) Create(p *sim.Proc) {
 	if p.ID != 0 {
 		p.Fail(fmt.Errorf("%w: called by node %d, not node 0", ErrBadCreate, p.ID))
 	}
-	if rt.created {
+	if rt.createCalled {
 		p.Fail(fmt.Errorf("%w: called twice", ErrBadCreate))
 	}
-	rt.created = true
-	rt.createTime = p.Clock()
-	for _, w := range rt.startWait {
-		w.Wake(p.Clock(), nil)
-	}
-	rt.startWait = nil
+	rt.createCalled = true
+	// Publish through an event: waiters are woken — and created becomes
+	// observable — in the event phase, in processor-ID order, so the outcome
+	// is identical however the host interleaved this quantum's processors.
+	at := p.Clock()
+	p.Schedule(at, func() {
+		rt.created = true
+		rt.createTime = at
+		ws := rt.startWait
+		rt.startWait = nil
+		sort.Slice(ws, func(i, j int) bool { return ws[i].ID < ws[j].ID })
+		for _, w := range ws {
+			w.Wake(at, nil)
+		}
+	})
 }
 
 // Barrier enters the hardware barrier (paper: 100 cycles from last arrival),

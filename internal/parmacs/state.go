@@ -1,6 +1,10 @@
 package parmacs
 
-import "repro/internal/snapshot"
+import (
+	"sort"
+
+	"repro/internal/snapshot"
+)
 
 // EncodeState contributes the parmacs runtime's image: CREATE bookkeeping
 // (whether the world has started, when, and who is still parked waiting for
@@ -9,9 +13,14 @@ func (rt *Runtime) EncodeState(enc *snapshot.Enc) {
 	enc.Section("parmacs", func(enc *snapshot.Enc) {
 		enc.Bool(rt.created)
 		enc.I64(int64(rt.createTime))
-		enc.U32(uint32(len(rt.startWait)))
-		for _, p := range rt.startWait {
-			enc.I64(int64(p.ID))
+		ids := make([]int, len(rt.startWait))
+		for i, p := range rt.startWait {
+			ids[i] = p.ID
+		}
+		sort.Ints(ids)
+		enc.U32(uint32(len(ids)))
+		for _, id := range ids {
+			enc.I64(int64(id))
 		}
 		enc.I64(int64(rt.lockSerial))
 	})

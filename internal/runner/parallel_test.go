@@ -1,0 +1,112 @@
+package runner
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// TestParallelDeterminismMatrix is the serial≡parallel contract at the
+// system level: every configuration in the replay-equivalence matrix —
+// including the fault-injected MP and SM entries — must produce the same
+// stats fingerprint, the same canonical stats bytes, and the same
+// application answer whether the engine dispatches processors serially or
+// across a worker pool. Run it under -race to also catch any cross-
+// processor access the staging discipline missed.
+func TestParallelDeterminismMatrix(t *testing.T) {
+	for _, tc := range matrix {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			serial, err := Run(tc.spec, Options{Workers: 1})
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			if serial.Res.Err != nil {
+				t.Fatalf("serial run aborted: %v", serial.Res.Err)
+			}
+			for _, workers := range []int{2, 4} {
+				par, err := Run(tc.spec, Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d run: %v", workers, err)
+				}
+				if par.Fingerprint != serial.Fingerprint {
+					t.Errorf("workers=%d fingerprint %#x, want serial %#x",
+						workers, par.Fingerprint, serial.Fingerprint)
+				}
+				if !bytes.Equal(par.StatsBytes, serial.StatsBytes) {
+					t.Errorf("workers=%d canonical stats bytes differ from serial", workers)
+				}
+				if par.AppLine != serial.AppLine {
+					t.Errorf("workers=%d app answer %q, want %q",
+						workers, par.AppLine, serial.AppLine)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelCheckpointEquivalence checks that the checkpoint layer's
+// quantum hooks observe serial-equivalent quiescent state under parallel
+// dispatch: a parallel run's snapshots must replay-verify in a serial
+// resume, and vice versa, landing on the serial run's fingerprint.
+func TestParallelCheckpointEquivalence(t *testing.T) {
+	for _, name := range []string{"em3d-mp-faults", "gauss-sm-faults"} {
+		var spec Spec
+		found := false
+		for _, tc := range matrix {
+			if tc.name == name {
+				spec, found = tc.spec, true
+			}
+		}
+		if !found {
+			t.Fatalf("matrix entry %q missing", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			serial, err := Run(spec, Options{Workers: 1})
+			if err != nil || serial.Res.Err != nil {
+				t.Fatalf("serial run: %v / %v", err, serial.Res.Err)
+			}
+			dir := t.TempDir()
+			par, err := Run(spec, Options{
+				Workers: 4, CheckpointEvery: serial.Res.Elapsed / 3, CheckpointDir: dir,
+			})
+			if err != nil {
+				t.Fatalf("parallel checkpointed run: %v", err)
+			}
+			if par.Fingerprint != serial.Fingerprint {
+				t.Fatalf("parallel checkpointed fingerprint %#x, want %#x",
+					par.Fingerprint, serial.Fingerprint)
+			}
+			if len(par.Checkpoints) == 0 {
+				t.Fatal("parallel run wrote no checkpoints")
+			}
+			cp := par.Checkpoints[len(par.Checkpoints)-1]
+			snap, err := snapshot.ReadFile(cp.Path)
+			if err != nil {
+				t.Fatalf("read %s: %v", cp.Path, err)
+			}
+			sp, err := SpecFromSnapshot(snap)
+			if err != nil {
+				t.Fatalf("spec from snapshot: %v", err)
+			}
+			// Cross-resume: serial replay must byte-match the state image a
+			// parallel run captured, and parallel replay the serial image.
+			for _, workers := range []int{1, 4} {
+				re, err := Run(*sp, Options{Resume: snap, Workers: workers})
+				if err != nil {
+					t.Fatalf("resume (workers=%d) from parallel snapshot: %v", workers, err)
+				}
+				if !re.Verified {
+					t.Fatalf("resume (workers=%d) never verified", workers)
+				}
+				if re.Fingerprint != serial.Fingerprint {
+					t.Fatalf("resume (workers=%d) fingerprint %#x, want %#x",
+						workers, re.Fingerprint, serial.Fingerprint)
+				}
+			}
+		})
+	}
+}

@@ -139,6 +139,11 @@ type Options struct {
 	// at the snapshot's cycle the replayed state and stats must be
 	// byte-identical, else the run aborts with a *ReplayDivergenceError.
 	Resume *snapshot.Snapshot
+	// Workers bounds intra-run host parallelism (cost.Config.Workers /
+	// sim.Engine.Workers): 0 uses GOMAXPROCS, 1 forces serial dispatch. A
+	// host knob, deliberately not part of Spec: any value yields the same
+	// fingerprint, so it lives beside the other run-local options.
+	Workers int
 }
 
 // Checkpoint records one snapshot written during a run.
@@ -218,6 +223,7 @@ func Run(spec Spec, opts Options) (*Outcome, error) {
 	finalize := func() {}
 
 	cfg := spec.Config()
+	cfg.Workers = opts.Workers
 	cfg.OnBuild = func(m any) {
 		var eng *sim.Engine
 		var me interface {

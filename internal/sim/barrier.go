@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/stats"
 )
@@ -9,14 +11,28 @@ import (
 // Barrier models the hardware barrier both machines provide (as on the
 // CM-5): all participants leave the barrier a fixed latency after the last
 // arrival (Table 1: 100 cycles from last arrival).
+//
+// Arrivals may come from concurrently executing processors during a
+// parallel processor phase, so the arrival bookkeeping is mutex-protected.
+// Everything order-dependent is kept deterministic regardless of host
+// arrival order: the release time is max(arrival clocks) + latency
+// (commutative), the release itself is an event staged through a
+// barrier-owned Stager (fixed sequence-number position however arrives
+// last), and waiters are woken in processor-ID order.
 type Barrier struct {
 	eng     *Engine
 	n       int
 	latency Time
+	stager  *Stager
 
+	mu      sync.Mutex
 	waiting []*Proc
 	polling int // participants spin-waiting instead of blocking
 	maxArr  Time
+
+	// epoch and release are written only by the release event (engine
+	// context) and read by processors; quantum-boundary ordering makes the
+	// reads race-free without taking mu.
 	epoch   int64 // completed barrier episodes, for tests and sanity checks
 	release Time  // release time of the most recently completed episode
 }
@@ -27,7 +43,7 @@ func NewBarrier(eng *Engine, n int, latency Time) *Barrier {
 	if n <= 0 {
 		panic("sim: barrier needs at least one participant")
 	}
-	return &Barrier{eng: eng, n: n, latency: latency}
+	return &Barrier{eng: eng, n: n, latency: latency, stager: eng.NewStager()}
 }
 
 // Epochs returns how many times the barrier has completed.
@@ -39,20 +55,22 @@ func (b *Barrier) Epochs() int64 { return b.epoch }
 // and panics.
 func (b *Barrier) Wait(p *Proc, cat stats.Category) {
 	p.Interact()
+	b.mu.Lock()
 	for _, q := range b.waiting {
 		if q == p {
+			b.mu.Unlock()
 			panic(fmt.Sprintf("sim: proc %d re-entered barrier", p.ID))
 		}
 	}
 	if p.clock > b.maxArr {
 		b.maxArr = p.clock
 	}
-	if len(b.waiting)+b.polling+1 < b.n {
-		b.waiting = append(b.waiting, p)
-		p.Block(cat, "barrier")
-		return
+	b.waiting = append(b.waiting, p)
+	if len(b.waiting)+b.polling == b.n {
+		b.stageRelease()
 	}
-	b.complete(p, cat)
+	b.mu.Unlock()
+	p.Block(cat, "barrier")
 }
 
 // WaitService enters the barrier like Wait, but keeps the processor runnable
@@ -63,15 +81,16 @@ func (b *Barrier) Wait(p *Proc, cat stats.Category) {
 // acknowledgement was lost). The stall is charged to cat, as in Wait.
 func (b *Barrier) WaitService(p *Proc, cat stats.Category, service func()) {
 	p.Interact()
+	b.mu.Lock()
 	if p.clock > b.maxArr {
 		b.maxArr = p.clock
 	}
-	if len(b.waiting)+b.polling+1 == b.n {
-		b.complete(p, cat)
-		return
-	}
-	b.polling++
 	my := b.epoch
+	b.polling++
+	if len(b.waiting)+b.polling == b.n {
+		b.stageRelease()
+	}
+	b.mu.Unlock()
 	for b.epoch == my {
 		if service != nil {
 			service()
@@ -81,16 +100,24 @@ func (b *Barrier) WaitService(p *Proc, cat stats.Category, service func()) {
 	p.WaitUntil(b.release, cat)
 }
 
-// complete is the last arrival's path: release every waiter.
-func (b *Barrier) complete(p *Proc, cat stats.Category) {
+// stageRelease, called with mu held by the episode's last arrival, stages
+// the release event and resets the arrival state for the next episode. The
+// event — not the arriving processor — wakes the waiters and publishes the
+// new epoch, so completion behaves identically whichever processor's
+// arrival, in whichever host order, turned out to be last.
+func (b *Barrier) stageRelease() {
 	release := b.maxArr + b.latency
-	for _, q := range b.waiting {
-		q.Wake(release, nil)
-	}
+	waiters := make([]*Proc, len(b.waiting))
+	copy(waiters, b.waiting)
+	sort.Slice(waiters, func(i, j int) bool { return waiters[i].ID < waiters[j].ID })
 	b.waiting = b.waiting[:0]
 	b.polling = 0
 	b.maxArr = 0
-	b.release = release
-	b.epoch++
-	p.WaitUntil(release, cat)
+	b.stager.Schedule(release, func() {
+		b.release = release
+		b.epoch++
+		for _, q := range waiters {
+			q.Wake(release, nil)
+		}
+	})
 }

@@ -2,19 +2,26 @@
 // underlying both simulated machines, in the style of the Wisconsin Wind
 // Tunnel (Reinhardt et al., SIGMETRICS 1993).
 //
-// Target "processors" are Go functions executed as coroutines: exactly one
-// goroutine runs at any moment, and the engine interleaves processors in
-// fixed order within conservative time quanta equal to the minimum network
-// latency (100 cycles). Any event one processor causes at another is
-// delayed by at least the network latency, so intra-quantum execution order
-// cannot affect the simulation's outcome — the same lookahead argument WWT
-// uses. All time is virtual (cycles); wall-clock effects such as Go's
+// Target "processors" are Go functions executed as coroutines. The engine
+// interleaves processors within conservative time quanta equal to the
+// minimum network latency (100 cycles): any event one processor causes at
+// another is delayed by at least the network latency, so intra-quantum
+// execution order cannot affect the simulation's outcome — the same
+// lookahead argument WWT uses. The same argument makes the processor phase
+// of each quantum safe to run on multiple host cores (Workers): processors
+// never touch each other's state within a quantum, events they raise are
+// staged per-processor and merged in deterministic (procID, staging order)
+// at the quantum boundary, so a parallel run is bit-identical to a serial
+// one. All time is virtual (cycles); wall-clock effects such as Go's
 // garbage collector cannot perturb measurements.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/stats"
 )
@@ -34,9 +41,27 @@ type Event struct {
 	index int
 }
 
+// stagedEvent is an event a processor raised during the processor phase,
+// held in a per-processor buffer until the quantum boundary. Buffers are
+// merged into the global heap in (procID, staging order), so sequence
+// numbers — and therefore same-time tie-breaks — do not depend on how the
+// host scheduled the workers.
+type stagedEvent struct {
+	at Time
+	fn func()
+}
+
 // Engine coordinates processors and events.
 type Engine struct {
 	Quantum Time // conservative lookahead; events cross processors no faster
+
+	// Workers bounds the worker pool for the processor phase: how many
+	// target processors may execute concurrently on the host. 0 (the
+	// default) uses GOMAXPROCS; 1 forces serial execution. Any value
+	// produces bit-identical simulations — parallelism is a host-side
+	// throughput knob, never a model parameter, so it is deliberately not
+	// part of runner.Spec or the snapshot format.
+	Workers int
 
 	now    Time // start of the current quantum
 	qEnd   Time // end of the current quantum
@@ -44,9 +69,15 @@ type Engine struct {
 	seq    uint64
 	procs  []*Proc
 
-	running  *Proc // processor currently executing, if any
-	finished int   // processors that have returned
-	inEvents bool  // processing the event phase
+	runnable procHeap // procs that are neither done nor blocked, by (clock, ID)
+	batch    []*Proc  // scratch: the procs dispatched this quantum
+
+	finished    int  // processors that have returned
+	inProcPhase bool // processor phase in flight: Schedule/Wake are off-limits
+
+	stagers []*Stager // auxiliary staging contexts (barrier releases)
+
+	free []*Event // recycled events, to keep event-heavy runs off the GC
 
 	// MaxTime, when positive, bounds virtual time: exceeding it panics with
 	// the processor states. It catches simulated livelock (time advancing
@@ -63,6 +94,14 @@ type Engine struct {
 	// see AddWatchdog. Empty unless a robustness layer armed one.
 	watchdogs []*Watchdog
 
+	// publishers run at the top of every scheduling iteration, before the
+	// watchdog check and the hooks: they copy values that processors read
+	// across node boundaries (e.g. the transport group's outstanding
+	// counts) into quantum-stable snapshots. Publishing at the boundary is
+	// what keeps such cross-processor reads deterministic under parallel
+	// dispatch — mid-quantum the live values may be changing concurrently.
+	publishers []func(now Time)
+
 	// hooks run at the top of every scheduling iteration, when e.now is a
 	// fresh quantum boundary and no processor is executing — the only
 	// moment all serializable state is quiescent. The checkpoint layer
@@ -72,7 +111,7 @@ type Engine struct {
 	hooks []func(now Time)
 
 	// Trace, when non-nil, receives a line per engine decision. Used by
-	// tests; nil in normal runs.
+	// tests; nil in normal runs. Must only be called from engine context.
 	Trace func(format string, args ...any)
 }
 
@@ -93,13 +132,62 @@ func (e *Engine) Now() Time { return e.now }
 // scheduler when their local clock reaches it.
 func (e *Engine) QuantumEnd() Time { return e.qEnd }
 
+// alloc returns a recycled (or fresh) event.
+func (e *Engine) alloc(at Time, fn func(), seq uint64) *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free = e.free[:n-1]
+		ev.At, ev.Fn, ev.seq = at, fn, seq
+		return ev
+	}
+	return &Event{At: at, Fn: fn, seq: seq}
+}
+
+// release returns a popped event to the free list.
+func (e *Engine) release(ev *Event) {
+	ev.Fn = nil
+	e.free = append(e.free, ev)
+}
+
 // Schedule enqueues an event at absolute time at. Events scheduled for the
 // past are processed at the start of the next quantum (their handlers must
 // therefore tolerate lateness bounded by one quantum; per-object busy times
 // preserve monotonicity).
+//
+// Schedule may only be called from engine context — event handlers, quantum
+// hooks, or before Run. Processor-context code must use Proc.Schedule (or a
+// Stager), which stages the event for a deterministic quantum-boundary
+// merge; calling Schedule from the processor phase panics.
 func (e *Engine) Schedule(at Time, fn func()) {
+	if e.inProcPhase {
+		panic("sim: Engine.Schedule from processor context; use Proc.Schedule")
+	}
 	e.seq++
-	heap.Push(&e.events, &Event{At: at, Fn: fn, seq: e.seq})
+	heap.Push(&e.events, e.alloc(at, fn, e.seq))
+}
+
+// Stager is an auxiliary event-staging context for objects shared by many
+// processors (the barrier): whichever processor stages through it, the
+// staged events merge at a fixed position — after every processor's own
+// buffer, in Stager creation order — so sequence numbering never depends on
+// which processor happened to act. At most one processor may stage through
+// a given Stager per quantum (the barrier's completer; episodes cannot
+// overlap).
+type Stager struct {
+	eng    *Engine
+	staged []stagedEvent
+}
+
+// NewStager registers an auxiliary staging context.
+func (e *Engine) NewStager() *Stager {
+	s := &Stager{eng: e}
+	e.stagers = append(e.stagers, s)
+	return s
+}
+
+// Schedule stages an event for the quantum-boundary merge.
+func (s *Stager) Schedule(at Time, fn func()) {
+	s.staged = append(s.staged, stagedEvent{at: at, fn: fn})
 }
 
 // AddProc registers a new processor whose body is fn. Must be called before
@@ -118,11 +206,20 @@ func (e *Engine) AddProc(fn func(p *Proc)) *Proc {
 	p.sharedCat = stats.SharedMiss
 	p.wfCat = stats.WriteFault
 	e.procs = append(e.procs, p)
+	heap.Push(&e.runnable, p)
 	return p
 }
 
 // Procs returns the registered processors.
 func (e *Engine) Procs() []*Proc { return e.procs }
+
+// workerCount resolves the effective processor-phase parallelism.
+func (e *Engine) workerCount() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // Run executes the simulation until every processor's body has returned and
 // no events remain, returning nil. If a processor aborts the run (see
@@ -143,6 +240,9 @@ func (e *Engine) Run() error {
 		if e.MaxTime > 0 && e.now > e.MaxTime {
 			e.overtime()
 		}
+		for _, pub := range e.publishers {
+			pub(e.now)
+		}
 		if len(e.watchdogs) > 0 {
 			e.checkWatchdogs()
 			if e.aborted != nil {
@@ -162,31 +262,28 @@ func (e *Engine) Run() error {
 		e.qEnd = e.now + e.Quantum
 
 		// Event phase: handle everything due before the quantum ends.
-		e.inEvents = true
 		for len(e.events) > 0 && e.events[0].At < e.qEnd {
 			ev := heap.Pop(&e.events).(*Event)
 			ev.Fn()
+			e.release(ev)
 		}
-		e.inEvents = false
 
 		// Processor phase: run each processor that has work this quantum.
-		ran := false
-		for _, p := range e.procs {
-			if p.done || p.blocked {
-				continue
-			}
-			if p.clock < e.qEnd {
-				ran = true
-				e.dispatch(p)
-			}
+		// The runnable heap is ordered by (clock, ID), so collecting the
+		// batch costs O(ran log n) instead of scanning every processor.
+		e.batch = e.batch[:0]
+		for len(e.runnable) > 0 && e.runnable[0].clock < e.qEnd {
+			e.batch = append(e.batch, heap.Pop(&e.runnable).(*Proc))
+		}
+		if len(e.batch) > 0 {
+			e.runBatch(e.batch)
+			e.settleBatch(e.batch)
+			e.now = e.qEnd
+			continue
 		}
 
 		// Advance. If the quantum was idle, jump to the next interesting
 		// time instead of crawling quantum by quantum.
-		if ran {
-			e.now = e.qEnd
-			continue
-		}
 		if e.aborted != nil {
 			// An event handler (e.g. a watchdog) aborted mid-quantum; let
 			// the loop top unwind instead of misreporting a deadlock.
@@ -213,23 +310,133 @@ func (e *Engine) Run() error {
 		ev := heap.Pop(&e.events).(*Event)
 		e.now = ev.At
 		ev.Fn()
+		e.release(ev)
 	}
 	return nil
+}
+
+// runBatch executes every processor in the batch for one quantum, across
+// the worker pool when more than one worker and processor are available.
+// Workers only perform the per-processor channel handshake; all shared
+// mutation (event staging, accounting) is per-processor and merged
+// afterwards, so execution order within the batch is immaterial.
+func (e *Engine) runBatch(batch []*Proc) {
+	e.inProcPhase = true
+	if n := e.workerCount(); n > 1 && len(batch) > 1 {
+		if n > len(batch) {
+			n = len(batch)
+		}
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= len(batch) {
+						return
+					}
+					dispatch(batch[i])
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for _, p := range batch {
+			dispatch(p)
+		}
+	}
+	e.inProcPhase = false
+}
+
+// settleBatch runs at the quantum boundary after the batch: it merges every
+// staged event into the global heap in deterministic order, surfaces the
+// first (lowest-ID) processor failure, counts finished processors, and
+// requeues the still-runnable ones.
+func (e *Engine) settleBatch(batch []*Proc) {
+	// Merge in ascending processor ID. The batch popped in (clock, ID)
+	// order, which is not ID order; sort a copy cheaply.
+	if len(batch) > 1 {
+		insertionSortByID(batch)
+	}
+	for _, p := range batch {
+		for i := range p.staged {
+			se := &p.staged[i]
+			e.seq++
+			heap.Push(&e.events, e.alloc(se.at, se.fn, e.seq))
+			se.fn = nil
+		}
+		p.staged = p.staged[:0]
+	}
+	for _, s := range e.stagers {
+		for i := range s.staged {
+			se := &s.staged[i]
+			e.seq++
+			heap.Push(&e.events, e.alloc(se.at, se.fn, e.seq))
+			se.fn = nil
+		}
+		s.staged = s.staged[:0]
+	}
+	for _, p := range batch {
+		if p.failErr != nil {
+			e.Abort(p.failErr)
+			p.failErr = nil
+		}
+	}
+	for _, p := range batch {
+		switch {
+		case p.done:
+			e.finished++
+		case p.blocked:
+			// Re-enters the runnable heap when an event wakes it.
+		default:
+			heap.Push(&e.runnable, p)
+		}
+	}
+}
+
+// insertionSortByID sorts a batch by processor ID. Batches pop from the
+// runnable heap nearly ID-ordered already (ties on clock break by ID), so
+// insertion sort beats sort.Slice's overhead at these sizes.
+func insertionSortByID(ps []*Proc) {
+	for i := 1; i < len(ps); i++ {
+		p := ps[i]
+		j := i - 1
+		for j >= 0 && ps[j].ID > p.ID {
+			ps[j+1] = ps[j]
+			j--
+		}
+		ps[j+1] = p
+	}
+}
+
+// AddPublisher registers fn to run at the top of every scheduling iteration,
+// before the watchdog check and the quantum hooks. Publishers copy live
+// per-node values into quantum-stable snapshots that other processors may
+// read during the processor phase (see Engine.publishers). Unlike hooks,
+// publishers are part of the simulation: they must be deterministic
+// functions of the boundary state.
+func (e *Engine) AddPublisher(fn func(now Time)) {
+	e.publishers = append(e.publishers, fn)
 }
 
 // AddQuantumHook registers fn to run at the top of every scheduling
 // iteration with the current quantum-start time. Times are strictly
 // increasing across calls. Hooks observe; the only mutation they may
 // perform is Abort (how -run-until stops a run). They run after the
-// watchdog check and before the event phase.
+// publishers and watchdog check and before the event phase.
 func (e *Engine) AddQuantumHook(fn func(now Time)) {
 	e.hooks = append(e.hooks, fn)
 }
 
 // Abort requests that the run stop with err: at its next scheduling point
 // the engine unwinds every live processor and Run returns err. The first
-// abort wins; later calls are ignored. Callable from a processor body or an
-// event handler.
+// abort wins; later calls are ignored. Callable from an event handler or a
+// quantum hook; processor bodies use Proc.Fail, which stages the error so
+// concurrent failures resolve to the lowest processor ID, exactly as serial
+// dispatch order would.
 func (e *Engine) Abort(err error) {
 	if e.aborted == nil {
 		e.aborted = err
@@ -248,24 +455,25 @@ func (e *Engine) unwind() {
 		}
 		p.poisoned = true
 		p.blocked = false
-		e.dispatch(p)
+		dispatch(p)
+		if p.done {
+			e.finished++
+		}
 	}
 }
 
 // nextInteresting returns the earliest time at which anything can happen:
-// the next event or the clock of a runnable (but run-ahead) processor.
-// Returns -1 if nothing can ever happen again.
+// the next event or the clock of the earliest runnable (but run-ahead)
+// processor. Returns -1 if nothing can ever happen again. O(1) via the
+// event and runnable heaps.
 func (e *Engine) nextInteresting() Time {
 	next := Time(-1)
 	if len(e.events) > 0 {
 		next = e.events[0].At
 	}
-	for _, p := range e.procs {
-		if p.done || p.blocked {
-			continue
-		}
-		if next < 0 || p.clock < next {
-			next = p.clock
+	if len(e.runnable) > 0 {
+		if c := e.runnable[0].clock; next < 0 || c < next {
+			next = c
 		}
 	}
 	return next
@@ -296,12 +504,13 @@ func (e *Engine) procStates() string {
 	return msg
 }
 
-// dispatch hands control to p until it yields.
-func (e *Engine) dispatch(p *Proc) {
-	e.running = p
+// dispatch hands control to p until it yields. Called from the engine
+// goroutine (serial phases, unwind) or from exactly one worker per
+// processor during a parallel processor phase; the channel handshake
+// orders all of p's state against the caller either way.
+func dispatch(p *Proc) {
 	p.resume <- struct{}{}
 	<-p.yield
-	e.running = nil
 }
 
 // eventHeap is a min-heap on (At, seq).
@@ -330,4 +539,28 @@ func (h *eventHeap) Pop() any {
 	old[n-1] = nil
 	*h = old[:n-1]
 	return ev
+}
+
+// procHeap is a min-heap of runnable processors on (clock, ID): the heap
+// top is always the earliest work remaining, which makes the batch
+// collection and nextInteresting O(1)-per-item instead of scanning every
+// processor each quantum.
+type procHeap []*Proc
+
+func (h procHeap) Len() int { return len(h) }
+func (h procHeap) Less(i, j int) bool {
+	if h[i].clock != h[j].clock {
+		return h[i].clock < h[j].clock
+	}
+	return h[i].ID < h[j].ID
+}
+func (h procHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *procHeap) Push(x any)   { *h = append(*h, x.(*Proc)) }
+func (h *procHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return p
 }

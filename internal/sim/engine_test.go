@@ -225,8 +225,10 @@ func TestDeterminism(t *testing.T) {
 	run := func() []int64 {
 		e := NewEngine(100)
 		b := NewBarrier(e, 4, 100)
-		rng := NewRNG(42)
 		for i := 0; i < 4; i++ {
+			// One RNG stream per processor: processors within a quantum may
+			// run concurrently, so shared draw state is off-limits.
+			rng := NewRNG(42 + uint64(i))
 			e.AddProc(func(p *Proc) {
 				for k := 0; k < 50; k++ {
 					p.Compute(int64(rng.Intn(500)))

@@ -1,14 +1,18 @@
 package sim
 
 import (
+	"container/heap"
 	"fmt"
 
 	"repro/internal/stats"
 )
 
-// Proc is a simulated processor. Its body function runs as a coroutine:
-// exactly one processor executes at a time, under engine control, so target
-// programs may freely share Go data structures.
+// Proc is a simulated processor. Its body function runs as a coroutine
+// under engine control. Within a quantum, processors only touch their own
+// state (or explicitly synchronized shared structures), which is what lets
+// the engine dispatch a quantum's batch across host cores; cross-processor
+// effects travel as events staged through Proc.Schedule and merged
+// deterministically at the quantum boundary.
 //
 // A processor has a local virtual clock. Pure computation (Compute) may run
 // ahead of the engine's quantum; any operation with cross-processor
@@ -34,6 +38,9 @@ type Proc struct {
 	wakeAt      Time
 	wakeData    any
 	diag        func() string // optional library diagnostic for stall reports
+
+	staged  []stagedEvent // events raised this quantum, merged at the boundary
+	failErr error         // error staged by Fail, collected by the engine
 
 	// Accounting modes. Library and synchronization code switch these so
 	// that computation and cache misses are charged to the right category
@@ -75,8 +82,10 @@ func (p *Proc) start() {
 					panic(r)
 				}
 			}
+			// The engine counts finished processors when it settles the
+			// batch: this deferred function may run on a worker goroutine,
+			// where touching engine state would race.
 			p.done = true
-			p.eng.finished++
 			p.yield <- struct{}{}
 		}()
 		<-p.resume
@@ -100,9 +109,24 @@ func (p *Proc) yieldToEngine() {
 // stops scheduling, unwinds every processor, and Run returns err. Fail does
 // not return. Libraries use it to surface structured failures (e.g. a
 // transport retry budget exhausted) instead of panicking or deadlocking.
+// The error is staged, not applied immediately: the engine collects staged
+// failures at the quantum boundary in processor-ID order, so when several
+// processors fail in the same quantum the winner does not depend on host
+// scheduling.
 func (p *Proc) Fail(err error) {
-	p.eng.Abort(err)
+	p.failErr = err
 	panic(procHalt{})
+}
+
+// Schedule stages an event at absolute time at, to be merged into the
+// engine's event heap at the end of the current quantum. This is the only
+// way processor-context code may raise events: staging per processor and
+// merging in processor-ID order keeps event sequence numbers — and with
+// them every same-time tie-break — independent of how the host interleaved
+// the quantum's processors. Handlers run in a later quantum's event phase
+// (engine context), where Engine.Schedule and Proc.Wake are legal.
+func (p *Proc) Schedule(at Time, fn func()) {
+	p.staged = append(p.staged, stagedEvent{at: at, fn: fn})
 }
 
 // SetDiagnostic registers fn to render this processor's library-level state
@@ -190,9 +214,14 @@ func (p *Proc) Block(cat stats.Category, reason string) any {
 }
 
 // Wake unblocks a processor at absolute time at, delivering data to the
-// Block call. Must be called from an event handler or another processor's
-// context, never from p itself. Waking an unblocked processor panics.
+// Block call. Must be called from engine context — an event handler, never
+// the processor phase (processor-context code that needs to wake a peer
+// stages an event via Proc.Schedule that performs the wake). Waking an
+// unblocked processor panics.
 func (p *Proc) Wake(at Time, data any) {
+	if p.eng.inProcPhase {
+		panic(fmt.Sprintf("sim: waking proc %d from processor context; stage the wake via Proc.Schedule", p.ID))
+	}
 	if !p.blocked {
 		panic(fmt.Sprintf("sim: waking proc %d which is not blocked", p.ID))
 	}
@@ -206,6 +235,7 @@ func (p *Proc) Wake(at Time, data any) {
 	if p.clock < at {
 		p.clock = at
 	}
+	heap.Push(&p.eng.runnable, p)
 }
 
 // Blocked reports whether the processor is blocked, and why.

@@ -85,13 +85,19 @@ func (e *Engine) EncodeState(enc *snapshot.Enc) {
 }
 
 // EncodeState contributes the barrier's image: the waiters present (by
-// processor ID, in arrival order), the spin-polling count, the latest
+// processor ID, sorted — arrival order within a quantum is a host-side
+// accident under parallel dispatch), the spin-polling count, the latest
 // arrival time, and the completed-episode counter.
 func (b *Barrier) EncodeState(enc *snapshot.Enc) {
 	enc.Section("barrier", func(enc *snapshot.Enc) {
-		enc.U32(uint32(len(b.waiting)))
-		for _, p := range b.waiting {
-			enc.I64(int64(p.ID))
+		ids := make([]int, len(b.waiting))
+		for i, p := range b.waiting {
+			ids[i] = p.ID
+		}
+		sort.Ints(ids)
+		enc.U32(uint32(len(ids)))
+		for _, id := range ids {
+			enc.I64(int64(id))
 		}
 		enc.I64(int64(b.polling))
 		enc.I64(int64(b.maxArr))

@@ -36,20 +36,22 @@ type Watchdog struct {
 	Source string
 	Window Time
 
-	last   Time
-	active func() bool
-	report func() string
+	last      Time
+	wasActive bool // active() at the previous check; restarts the window on quiet→active
+	active    func() bool
+	report    func() string
 }
 
 // AddWatchdog arms a progress watchdog on the engine. active, which may be
 // nil (always active), reports whether the subsystem currently has work
 // outstanding — a watchdog never fires while its subsystem is legitimately
-// quiet (e.g. a pure-compute phase with no coherence traffic). The subsystem
-// must call Progress when work starts after a quiet period, or the stale
-// last-progress mark would fire the watchdog immediately. report, which may
-// be nil, renders subsystem forensics for the stall report; it is called
-// only on detection. Engines with no watchdogs pay a single empty-slice
-// check per quantum.
+// quiet (e.g. a pure-compute phase with no coherence traffic). The engine
+// restarts the window itself when it observes a quiet→active transition at
+// a quantum boundary, so a stale last-progress mark from before the quiet
+// period cannot fire the watchdog immediately. report, which may be nil,
+// renders subsystem forensics for the stall report; it is called only on
+// detection. Engines with no watchdogs pay a single empty-slice check per
+// quantum.
 func (e *Engine) AddWatchdog(source string, window Time, active func() bool, report func() string) *Watchdog {
 	if window <= 0 {
 		panic("sim: watchdog window must be positive")
@@ -60,6 +62,10 @@ func (e *Engine) AddWatchdog(source string, window Time, active func() bool, rep
 }
 
 // Progress records that the watched subsystem completed work at time at.
+// Must be called from engine context (an event handler): progress marks from
+// concurrent processors would race, and their max would depend on which
+// processor's notion of "now" won — completion events are where protocol
+// work actually finishes anyway.
 func (w *Watchdog) Progress(at Time) {
 	if at > w.last {
 		w.last = at
@@ -67,11 +73,20 @@ func (w *Watchdog) Progress(at Time) {
 }
 
 // checkWatchdogs aborts the run if any watchdog's window has expired. Called
-// once per scheduling iteration, before the event phase.
+// once per scheduling iteration, before the event phase. A quiet→active
+// transition restarts the window at the current boundary: the subsystem was
+// idle, so its last progress mark says nothing about the new work.
 func (e *Engine) checkWatchdogs() {
 	for _, w := range e.watchdogs {
 		if w.active != nil && !w.active() {
+			w.wasActive = false
 			continue
+		}
+		if !w.wasActive {
+			w.wasActive = true
+			if e.now > w.last {
+				w.last = e.now
+			}
 		}
 		if e.now-w.last > w.Window {
 			rep := ""
