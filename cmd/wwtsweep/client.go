@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/serve"
+)
+
+// Thin-client mode: -server URL hands the matrix to a wwtserved instance
+// and streams progress while polling. The client is deliberately patient —
+// connection errors, 429 load shedding, and 503 draining all back off and
+// retry for up to -server-patience of consecutive failure, so a daemon
+// restart (crash recovery, rolling deploy) mid-sweep looks like a pause,
+// not a failure. Job durability is the server's problem: once the submit is
+// acked the batch is in the WAL, and polling just waits for the queue to
+// drain into results.
+
+type client struct {
+	base     string // e.g. http://127.0.0.1:8723
+	hc       *http.Client
+	patience time.Duration // max consecutive failure before giving up
+	quiet    bool
+}
+
+// serverSweep runs the whole matrix through the service and returns results
+// in submit order.
+func serverSweep(base string, specs []runner.Spec, deadline, patience time.Duration, quiet bool) ([]RunResult, error) {
+	c := &client{
+		base:     base,
+		hc:       &http.Client{Timeout: 30 * time.Second},
+		patience: patience,
+		quiet:    quiet,
+	}
+	var sub serve.SubmitResponse
+	req := serve.SubmitRequest{Runs: specs, DeadlineMS: deadline.Milliseconds()}
+	if err := c.doRetry("POST", "/v1/batches", &req, &sub); err != nil {
+		return nil, fmt.Errorf("submit: %w", err)
+	}
+	if !quiet {
+		fmt.Printf("submitted batch %s: %d jobs to %s\n", sub.Batch, len(sub.Jobs), base)
+	}
+
+	finished := make(map[string]bool)
+	for {
+		var bs serve.BatchStatus
+		if err := c.doRetry("GET", "/v1/batches/"+sub.Batch, nil, &bs); err != nil {
+			return nil, fmt.Errorf("poll batch %s: %w", sub.Batch, err)
+		}
+		for _, js := range bs.Jobs {
+			if finished[js.ID] || (js.State != serve.StateDone && js.State != serve.StateFailed) {
+				continue
+			}
+			finished[js.ID] = true
+			if !quiet {
+				spec := specs[js.Index]
+				status := js.Fingerprint
+				switch {
+				case js.State == serve.StateFailed:
+					status = "FAILED (" + js.FailKind + "): " + js.FailError
+				case js.Error != "":
+					status = "ABORTED: " + js.Error
+				}
+				if js.Cached {
+					status += " (cached)"
+				}
+				fmt.Printf("[%d/%d] %s/%s %s (%d ms)\n",
+					len(finished), len(bs.Jobs), spec.App, spec.Machine, status, js.WallMS)
+			}
+		}
+		if bs.Done {
+			return resultsFromBatch(specs, &bs), nil
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// resultsFromBatch maps the server's batch status onto the local results
+// schema, so -server and local sweeps produce interchangeable files.
+func resultsFromBatch(specs []runner.Spec, bs *serve.BatchStatus) []RunResult {
+	results := make([]RunResult, len(specs))
+	for _, js := range bs.Jobs {
+		r := RunResult{
+			Index:       js.Index,
+			Spec:        specs[js.Index],
+			JobID:       js.ID,
+			Cached:      js.Cached,
+			Fingerprint: js.Fingerprint,
+			AppLine:     js.AppLine,
+			Elapsed:     js.Elapsed,
+			WallMS:      js.WallMS,
+			Breakdown:   js.Breakdown,
+			Error:       js.Error,
+		}
+		if js.State == serve.StateFailed {
+			r.Error = fmt.Sprintf("terminal failure (%s, %d attempts): %s",
+				js.FailKind, js.Attempts, js.FailError)
+		}
+		results[js.Index] = r
+	}
+	return results
+}
+
+// doRetry performs one API call, retrying retryable failures (connection
+// errors, 429 queue_full, 503 draining) with exponential backoff until
+// c.patience of consecutive failure has elapsed.
+func (c *client) doRetry(method, path string, in, out any) error {
+	backoff := 100 * time.Millisecond
+	var firstFail time.Time
+	for {
+		err := c.do(method, path, in, out)
+		if err == nil {
+			return nil
+		}
+		if !retryable(err) {
+			return err
+		}
+		now := time.Now()
+		if firstFail.IsZero() {
+			firstFail = now
+		}
+		if now.Sub(firstFail) > c.patience {
+			return fmt.Errorf("gave up after %v of consecutive failure: %w", c.patience, err)
+		}
+		if !c.quiet {
+			fmt.Printf("server unavailable (%v), retrying in %v\n", err, backoff)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+func (c *client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		blob, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		apiErr := &serve.APIError{}
+		if json.Unmarshal(blob, apiErr) == nil && apiErr.Kind != "" {
+			return &httpError{code: resp.StatusCode, api: apiErr}
+		}
+		return &httpError{code: resp.StatusCode, api: &serve.APIError{Kind: "http", Message: string(blob)}}
+	}
+	return json.Unmarshal(blob, out)
+}
+
+type httpError struct {
+	code int
+	api  *serve.APIError
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("HTTP %d: %s", e.code, e.api.Error())
+}
+
+// retryable reports whether an error is worth waiting out: anything
+// transport-level (daemon down or restarting), plus explicit load shedding
+// and drain responses.
+func retryable(err error) bool {
+	if he, ok := err.(*httpError); ok {
+		return he.code == http.StatusTooManyRequests || he.code == http.StatusServiceUnavailable
+	}
+	// Non-HTTP errors are transport failures (connection refused/reset
+	// while the daemon is down): always worth retrying within patience.
+	return true
+}

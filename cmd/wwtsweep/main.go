@@ -8,10 +8,12 @@
 // Usage:
 //
 //	wwtsweep -matrix FILE.json [-jobs N] [-workers N] [-out FILE]
-//	         [-verify-workers N] [-quiet]
+//	         [-verify-workers N] [-quiet] [-fail-on-error=false]
 //	wwtsweep -apps em3d,lcp -machines mp -procs 32
 //	         [-droprates 0,0.01,0.05] [-nackrates ...] [-seeds 1,2,3]
 //	         [-size N] [-iters N] [-jobs N] [-out FILE]
+//	wwtsweep -server http://HOST:PORT -matrix FILE.json [-out FILE]
+//	         [-deadline DUR] [-server-patience DUR]
 //
 // A matrix file is {"runs": [<spec>, ...]} where each spec is the same JSON
 // object runner.Spec embeds in snapshots (app, machine, procs, faults, ...).
@@ -37,6 +39,16 @@
 // Workers=N and fails loudly if any fingerprint differs from the primary
 // run's (a paranoid end-to-end check of that guarantee; it doubles the
 // sweep's work).
+//
+// With -server, the sweep becomes a thin client of a wwtserved instance:
+// the matrix is submitted as one durable batch and progress is streamed by
+// polling. The daemon's WAL and result cache make the sweep restartable —
+// killing and restarting the daemon mid-sweep pauses the client instead of
+// failing it, and resubmitted cells come back as cache hits with
+// bit-identical fingerprints (marked "cached" in the results file).
+//
+// Exit status: 0 on a clean sweep, 1 when -fail-on-error (default on) and
+// any run aborted, 2 on harness failures or fingerprint mismatches.
 package main
 
 import (
@@ -52,6 +64,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/runner"
+	"repro/internal/snapshot"
 	"repro/internal/stats"
 )
 
@@ -69,6 +82,12 @@ type RunResult struct {
 	AppLine     string `json:"app_line,omitempty"`
 	Elapsed     int64  `json:"elapsed_cycles"`
 	WallMS      int64  `json:"wall_ms"`
+
+	// JobID and Cached are set in -server mode: the daemon's job id and
+	// whether the result came from its content-addressed cache rather than
+	// a fresh run (cached results are bit-identical by construction).
+	JobID  string `json:"job_id,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
 
 	// Breakdown is the per-processor average cycle count per non-zero time
 	// category — the paper's "where is time spent" rows.
@@ -108,6 +127,10 @@ func main() {
 	verifyWorkers := flag.Int("verify-workers", 0, "re-run each config with this many engine workers and require identical fingerprints")
 	out := flag.String("out", "sweep-results.json", "results file")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress lines")
+	failOnError := flag.Bool("fail-on-error", true, "exit nonzero when any run aborts")
+	server := flag.String("server", "", "wwtserved base URL (e.g. http://127.0.0.1:8723): submit the matrix instead of running locally")
+	deadline := flag.Duration("deadline", 0, "per-attempt wall-clock deadline for -server jobs (0 = server default)")
+	patience := flag.Duration("server-patience", 2*time.Minute, "how long -server mode tolerates consecutive daemon unavailability (restarts, load shedding)")
 	flag.Parse()
 
 	var specs []runner.Spec
@@ -138,38 +161,15 @@ func main() {
 	}
 
 	start := time.Now()
-	results := make([]RunResult, len(specs))
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < nj; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(specs) {
-					return
-				}
-				results[i] = oneRun(i, specs[i], *workers, *verifyWorkers)
-				if !*quiet {
-					mu.Lock()
-					r := &results[i]
-					status := r.Fingerprint
-					if r.Error != "" {
-						status = "ABORTED: " + r.Error
-					}
-					fmt.Printf("[%d/%d] %s/%s %s (%d ms)\n",
-						i+1, len(specs), r.Spec.App, r.Spec.Machine, status, r.WallMS)
-					mu.Unlock()
-				}
-			}
-		}()
+	var results []RunResult
+	if *server != "" {
+		results, err = serverSweep(*server, specs, *deadline, *patience, *quiet)
+		if err != nil {
+			fatal("server sweep: %v", err)
+		}
+	} else {
+		results = localSweep(specs, nj, *workers, *verifyWorkers, *quiet)
 	}
-	wg.Wait()
 
 	mismatches := 0
 	for i := range results {
@@ -193,20 +193,79 @@ func main() {
 		fatal("encode results: %v", err)
 	}
 	blob = append(blob, '\n')
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+	// Atomic write: a sweep killed mid-write must never leave a truncated
+	// results file for a later analysis step to choke on.
+	if err := snapshot.AtomicWriteFile(*out, blob); err != nil {
 		fatal("write results: %v", err)
 	}
-	fmt.Printf("%d runs in %v wall (%d jobs) -> %s\n",
-		len(specs), time.Since(start).Round(time.Millisecond), nj, *out)
+	errored := 0
+	for i := range results {
+		if results[i].Error != "" {
+			errored++
+		}
+	}
+	fmt.Printf("%d runs in %v wall (%d jobs), %d with errors -> %s\n",
+		len(specs), time.Since(start).Round(time.Millisecond), nj, errored, *out)
 	if mismatches > 0 {
 		fatal("%d fingerprint mismatches between worker counts", mismatches)
 	}
+	if errored > 0 && *failOnError {
+		fmt.Fprintf(os.Stderr, "%d of %d runs aborted (rerun with -fail-on-error=false to treat aborts as data)\n",
+			errored, len(specs))
+		os.Exit(1)
+	}
+}
+
+// localSweep shards the runs across nj host workers, the original one-shot
+// mode.
+func localSweep(specs []runner.Spec, nj, workers, verifyWorkers int, quiet bool) []RunResult {
+	results := make([]RunResult, len(specs))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < nj; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(specs) {
+					return
+				}
+				results[i] = oneRun(i, specs[i], workers, verifyWorkers)
+				if !quiet {
+					mu.Lock()
+					r := &results[i]
+					status := r.Fingerprint
+					if r.Error != "" {
+						status = "ABORTED: " + r.Error
+					}
+					fmt.Printf("[%d/%d] %s/%s %s (%d ms)\n",
+						i+1, len(specs), r.Spec.App, r.Spec.Machine, status, r.WallMS)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
 }
 
 // oneRun executes spec and, when verifyWorkers > 0, re-executes it with
-// that worker count to cross-check the fingerprint.
-func oneRun(i int, spec runner.Spec, workers, verifyWorkers int) RunResult {
+// that worker count to cross-check the fingerprint. A panic anywhere in the
+// run is isolated to this cell: it is recorded as the run's Error instead
+// of crashing the whole sweep and losing every other worker's results.
+func oneRun(i int, spec runner.Spec, workers, verifyWorkers int) (result RunResult) {
 	r := RunResult{Index: i, Spec: spec}
+	defer func() {
+		if p := recover(); p != nil {
+			r.Error = fmt.Sprintf("panic: %v", p)
+			result = r
+		}
+	}()
 	t0 := time.Now()
 	out, err := runner.Run(spec, runner.Options{Workers: workers})
 	r.WallMS = time.Since(t0).Milliseconds()

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"path/filepath"
+	"sync/atomic"
 
 	"repro/internal/apps/em3d"
 	"repro/internal/apps/gauss"
@@ -61,6 +62,12 @@ func (s *Spec) Validate() error {
 	case "mp", "sm":
 	default:
 		return fmt.Errorf("runner: unknown machine %q", s.Machine)
+	}
+	if s.Procs < 1 || s.Procs > 128 {
+		return fmt.Errorf("runner: procs %d out of supported range [1,128]", s.Procs)
+	}
+	if s.CacheBytes < 0 || s.Size < 0 || s.Iters < 0 {
+		return fmt.Errorf("runner: negative size/iteration override")
 	}
 	switch s.Shape {
 	case "", "flat", "binary", "lopsided":
@@ -144,6 +151,38 @@ type Options struct {
 	// host knob, deliberately not part of Spec: any value yields the same
 	// fingerprint, so it lives beside the other run-local options.
 	Workers int
+	// Interrupt, when non-nil, arms cooperative preemption: once Fire is
+	// called (from any goroutine — a wall-clock deadline timer, a drain
+	// signal), the run stops at the next quantum boundary, writes a
+	// preemption checkpoint to CheckpointDir, and aborts with a
+	// *PreemptedError. The checkpoint is an ordinary snapshot, so a later
+	// Run with Resume picks the job up from that cycle (replay-verified)
+	// instead of discarding the work.
+	Interrupt *Interrupt
+}
+
+// Interrupt is a one-shot, goroutine-safe preemption request. The zero
+// value is ready to use; hand the same value to Options.Interrupt and to
+// whatever decides to preempt (deadline timer, SIGTERM drain).
+type Interrupt struct{ fired atomic.Bool }
+
+// Fire requests preemption. Safe to call from any goroutine, any number of
+// times; the run observes it at its next quantum boundary.
+func (i *Interrupt) Fire() { i.fired.Store(true) }
+
+// Fired reports whether Fire has been called.
+func (i *Interrupt) Fired() bool { return i.fired.Load() }
+
+// PreemptedError is the planned-abort report of an interrupted run: the
+// quantum boundary it stopped on and the checkpoint written there. It is a
+// cooperative stop, not a failure — the checkpoint resumes the job.
+type PreemptedError struct {
+	Cycle sim.Time
+	Path  string
+}
+
+func (e *PreemptedError) Error() string {
+	return fmt.Sprintf("runner: preempted at cycle %d (checkpoint %s)", e.Cycle, e.Path)
 }
 
 // Checkpoint records one snapshot written during a run.
@@ -171,6 +210,12 @@ type Outcome struct {
 	// quantum boundary it happened on.
 	Stopped   bool
 	StoppedAt sim.Time
+	// Preempted reports that Options.Interrupt fired and the run stopped at
+	// PreemptedAt with a checkpoint at PreemptPath (also appended to
+	// Checkpoints).
+	Preempted   bool
+	PreemptedAt sim.Time
+	PreemptPath string
 	// Verified reports that resume verification ran and passed.
 	Verified bool
 }
@@ -311,6 +356,24 @@ func Run(spec Spec, opts Options) (*Outcome, error) {
 				out.Checkpoints = append(out.Checkpoints, Checkpoint{Cycle: now, Path: path})
 			})
 		}
+		if intr := opts.Interrupt; intr != nil {
+			eng.AddQuantumHook(func(now sim.Time) {
+				// A cycle-0 checkpoint would resume nothing; defer to the
+				// first boundary with real progress behind it.
+				if now == 0 || hookErr != nil || out.Preempted || !intr.Fired() {
+					return
+				}
+				path := filepath.Join(opts.CheckpointDir, fmt.Sprintf("preempt-%d.wws", now))
+				if err := snapshot.WriteFile(path, capture(now)); err != nil {
+					hookErr = err
+					eng.Abort(err)
+					return
+				}
+				out.Checkpoints = append(out.Checkpoints, Checkpoint{Cycle: now, Path: path})
+				out.Preempted, out.PreemptedAt, out.PreemptPath = true, now, path
+				eng.Abort(&PreemptedError{Cycle: now, Path: path})
+			})
+		}
 		if opts.RunUntil > 0 {
 			eng.StopAt(opts.RunUntil)
 		}
@@ -324,7 +387,7 @@ func Run(spec Spec, opts Options) (*Outcome, error) {
 	if hookErr != nil {
 		return out, hookErr
 	}
-	if opts.Resume != nil && !out.Verified && !out.Stopped {
+	if opts.Resume != nil && !out.Verified && !out.Stopped && !out.Preempted {
 		e := &ReplayDivergenceError{Cycle: sim.Time(opts.Resume.Cycle), What: "end"}
 		return out, e
 	}

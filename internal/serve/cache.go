@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/internal/snapshot"
+)
+
+// The result cache is content-addressed: a completed cell is stored in one
+// file named by its canonical spec fingerprint (runner.Spec.CacheKey). The
+// simulator is deterministic, so the key fully identifies the result —
+// resubmitting a spec returns the stored record, bit-identical to a fresh
+// run, marked as a cache hit. Files are checksummed and written atomically;
+// a corrupt or torn entry decodes to a typed error and is simply recomputed
+// and overwritten.
+
+const (
+	resMagic          = "WWTRES\x00"
+	resVersion uint32 = 1
+)
+
+// Result is one completed cell's cacheable record: everything the sweep
+// results file reports, minus host-local noise (wall time is tracked on the
+// job, not the result, precisely so cached and computed results stay
+// byte-identical).
+type Result struct {
+	Key         uint64 // canonical spec fingerprint (the content address)
+	Fingerprint uint64 // stats fingerprint (snapshot.Hash of canonical accounting)
+	Elapsed     int64  // virtual cycles
+	AppLine     string
+	// Err records a deterministic application abort (retry starvation,
+	// invariant violation, watchdog stall). Aborted configurations are
+	// results too — the degradation sweeps chart exactly where setups fall
+	// over — and being deterministic they are as cacheable as a success.
+	Err string
+	// Breakdown is the per-processor-average cycles per non-zero category,
+	// sorted by name for canonical encoding.
+	Breakdown []BreakdownEntry
+}
+
+// BreakdownEntry is one "where is time spent" row.
+type BreakdownEntry struct {
+	Name   string
+	Cycles float64
+}
+
+// BreakdownMap returns the breakdown in the map form the JSON API uses.
+func (r *Result) BreakdownMap() map[string]float64 {
+	if len(r.Breakdown) == 0 {
+		return nil
+	}
+	m := make(map[string]float64, len(r.Breakdown))
+	for _, e := range r.Breakdown {
+		m[e.Name] = e.Cycles
+	}
+	return m
+}
+
+// CorruptResultError reports a cache entry that failed to decode; callers
+// treat it as a miss and overwrite the entry.
+type CorruptResultError struct {
+	Path   string
+	Reason string
+}
+
+func (e *CorruptResultError) Error() string {
+	return fmt.Sprintf("serve: corrupt cached result %s: %s", e.Path, e.Reason)
+}
+
+// Cache is the on-disk result store.
+type Cache struct {
+	dir          string
+	hits, misses atomic.Int64
+}
+
+// OpenCache opens (creating if needed) a cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir}, nil
+}
+
+func (c *Cache) path(key uint64) string {
+	return filepath.Join(c.dir, fmt.Sprintf("%016x.wwr", key))
+}
+
+// Encode serializes a result canonically: magic, version, fields, trailing
+// checksum. Equal results produce equal bytes.
+func Encode(r *Result) []byte {
+	var e snapshot.Enc
+	e.Str(resMagic)
+	e.U32(resVersion)
+	e.U64(r.Key)
+	e.U64(r.Fingerprint)
+	e.I64(r.Elapsed)
+	e.Str(r.AppLine)
+	e.Str(r.Err)
+	e.U32(uint32(len(r.Breakdown)))
+	for _, be := range r.Breakdown {
+		e.Str(be.Name)
+		e.F64(be.Cycles)
+	}
+	e.U64(snapshot.Hash(e.Bytes()))
+	return e.Bytes()
+}
+
+// DecodeResult parses an encoded result, returning a *CorruptResultError
+// (with path in the message left to the caller) on any malformed input.
+func DecodeResult(b []byte) (*Result, error) {
+	bad := func(reason string) (*Result, error) {
+		return nil, &CorruptResultError{Reason: reason}
+	}
+	d := snapshot.NewDec(b)
+	if d.Str() != resMagic {
+		return bad("bad magic")
+	}
+	if v := d.U32(); v != resVersion {
+		return bad(fmt.Sprintf("version %d (this build reads %d)", v, resVersion))
+	}
+	r := &Result{}
+	r.Key = d.U64()
+	r.Fingerprint = d.U64()
+	r.Elapsed = d.I64()
+	r.AppLine = d.Str()
+	r.Err = d.Str()
+	n := int(d.U32())
+	if d.Err != nil || n < 0 || n > d.Remaining() {
+		return bad("truncated")
+	}
+	for i := 0; i < n; i++ {
+		r.Breakdown = append(r.Breakdown, BreakdownEntry{Name: d.Str(), Cycles: d.F64()})
+	}
+	body := len(b) - d.Remaining()
+	sum := d.U64()
+	if d.Err != nil {
+		return bad("truncated")
+	}
+	if d.Remaining() != 0 {
+		return bad("trailing bytes")
+	}
+	if got := snapshot.Hash(b[:body]); got != sum {
+		return bad(fmt.Sprintf("checksum mismatch (%#x vs %#x)", got, sum))
+	}
+	return r, nil
+}
+
+// Get returns the cached result for key, counting a hit; (nil, nil) is a
+// clean miss (counted), and a *CorruptResultError is a miss the caller
+// should log and overwrite.
+func (c *Cache) Get(key uint64) (*Result, error) {
+	r, err := c.Peek(key)
+	if r != nil {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return r, err
+}
+
+// Peek is Get without touching the hit/miss counters — recovery and status
+// queries use it so introspection doesn't skew the serving hit rate.
+func (c *Cache) Peek(key uint64) (*Result, error) {
+	p := c.path(key)
+	b, err := os.ReadFile(p)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	r, err := DecodeResult(b)
+	if err != nil {
+		if ce, ok := err.(*CorruptResultError); ok {
+			ce.Path = p
+		}
+		return nil, err
+	}
+	if r.Key != key {
+		return nil, &CorruptResultError{Path: p, Reason: "key field does not match file name"}
+	}
+	return r, nil
+}
+
+// Put atomically stores r under its key.
+func (c *Cache) Put(r *Result) error {
+	return snapshot.AtomicWriteFile(c.path(r.Key), Encode(r))
+}
+
+// Hits and Misses expose the serving counters.
+func (c *Cache) Hits() int64   { return c.hits.Load() }
+func (c *Cache) Misses() int64 { return c.misses.Load() }

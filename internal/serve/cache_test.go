@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"os"
+	"reflect"
+	"testing"
+)
+
+func sampleResult() *Result {
+	return &Result{
+		Key:         0xabc123,
+		Fingerprint: 0xfeedface,
+		Elapsed:     987654,
+		AppLine:     "maxErr=1.2e-06",
+		Err:         "",
+		Breakdown: []BreakdownEntry{
+			{Name: "Computation", Cycles: 1234.5},
+			{Name: "Network Access", Cycles: 99.25},
+		},
+	}
+}
+
+// TestCacheRoundTrip: Put then Get returns an identical record and counts a
+// hit; a missing key is a clean miss.
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleResult()
+	if err := c.Put(want); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	got, err := c.Get(want.Key)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if miss, err := c.Get(0x999); miss != nil || err != nil {
+		t.Fatalf("absent key: got %+v / %v, want clean miss", miss, err)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("counters hits=%d misses=%d, want 1/1", c.Hits(), c.Misses())
+	}
+	// Peek must not move the counters.
+	if _, err := c.Peek(want.Key); err != nil {
+		t.Fatal(err)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("Peek moved counters: hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+// TestCacheEncodingCanonical: equal results encode to equal bytes (the
+// property that makes cached results comparable byte-for-byte).
+func TestCacheEncodingCanonical(t *testing.T) {
+	a, b := Encode(sampleResult()), Encode(sampleResult())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal results encoded differently")
+	}
+}
+
+// TestCacheDetectsCorruption: every single-byte corruption of a stored
+// entry decodes to a typed error, never to silently wrong data.
+func TestCacheDetectsCorruption(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleResult()
+	if err := c.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	path := c.path(want.Key)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(blob); i++ {
+		bad := append([]byte(nil), blob...)
+		bad[i] ^= 0x40
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, gerr := c.Peek(want.Key)
+		if gerr == nil && got != nil && reflect.DeepEqual(got, want) {
+			continue // flip landed in a spot that decoded back equal — impossible with a checksum
+		}
+		if gerr == nil {
+			t.Fatalf("byte %d corrupted: decoded without error to %+v", i, got)
+		}
+		if _, ok := gerr.(*CorruptResultError); !ok {
+			t.Fatalf("byte %d corrupted: error %T (%v), want *CorruptResultError", i, gerr, gerr)
+		}
+	}
+	// Truncations too.
+	for _, cut := range []int{0, 1, len(blob) / 2, len(blob) - 1} {
+		if err := os.WriteFile(path, blob[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, gerr := c.Peek(want.Key); gerr == nil {
+			t.Fatalf("truncated to %d bytes: decoded without error", cut)
+		}
+	}
+}
+
+// TestCacheErrResult: deterministic aborts are cacheable results.
+func TestCacheErrResult(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleResult()
+	want.Err = "faults: retry budget exhausted"
+	if err := c.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(want.Key)
+	if err != nil || got.Err != want.Err {
+		t.Fatalf("got %+v / %v", got, err)
+	}
+}

@@ -1,0 +1,416 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// queue is the in-memory job table, authoritative only as a projection of
+// the WAL: every transition that recovery must reproduce is appended (and
+// fsynced) before the in-memory state changes. Jobs move
+// pending → running → {done, failed}, with running falling back to pending
+// on retry, preemption, or a crash (running is deliberately not a WAL
+// state: a job that was mid-run when the process died recovers as pending
+// and simply reruns — determinism plus the result cache make that
+// idempotent, so nothing is lost and nothing completes twice).
+
+type jobState uint8
+
+const (
+	jobPending jobState = iota
+	jobRunning
+	jobDone
+	jobFailed
+)
+
+func (s jobState) String() string {
+	switch s {
+	case jobPending:
+		return StatePending
+	case jobRunning:
+		return StateRunning
+	case jobDone:
+		return StateDone
+	default:
+		return StateFailed
+	}
+}
+
+type job struct {
+	id       uint64
+	batch    uint64
+	index    int
+	key      uint64
+	spec     runner.Spec
+	specJSON []byte
+	deadline time.Duration // per-attempt wall-clock bound; 0 = server default
+
+	state     jobState
+	attempts  int       // failed attempts so far
+	preempts  int       // deadline preemptions (not persisted; resets on restart)
+	notBefore time.Time // retry backoff gate
+	wallMS    int64     // accumulated attempt wall time
+
+	// resume checkpoint from the last preemption, if any
+	resumeCycle int64
+	resumePath  string
+	// resumedFrom is set when a finished attempt verifiably replayed
+	// through a resume checkpoint (Outcome.Verified at that cycle).
+	resumedFrom int64
+
+	cached             bool
+	result             *Result
+	failKind, failText string
+}
+
+type queue struct {
+	mu        sync.Mutex
+	wal       *WAL
+	jobs      map[uint64]*job
+	pending   []uint64            // FIFO of pending job ids
+	batches   map[uint64][]uint64 // batch id → job ids in submit order
+	nextJob   uint64
+	nextBatch uint64
+	running   int
+	done      int64
+	failed    int64
+}
+
+// recoverQueue rebuilds the job table from replayed WAL records, restores
+// lost results from the cache where possible, and compacts the log down to
+// the minimal record set a future recovery needs.
+func recoverQueue(wal *WAL, recs []Record, cache *Cache) (*queue, error) {
+	q := &queue{
+		wal:     wal,
+		jobs:    make(map[uint64]*job),
+		batches: make(map[uint64][]uint64),
+	}
+	for _, r := range recs {
+		switch r.Type {
+		case recSubmit:
+			j := &job{
+				id:       r.Job,
+				batch:    r.Batch,
+				index:    r.Index,
+				key:      r.Key,
+				specJSON: append([]byte(nil), r.Spec...),
+				deadline: time.Duration(r.DeadlineMS) * time.Millisecond,
+			}
+			if err := json.Unmarshal(r.Spec, &j.spec); err != nil {
+				// A submit record that round-trips to garbage should be
+				// impossible (specs are validated before the append), but a
+				// typed terminal failure beats wedging recovery.
+				j.state, j.failKind, j.failText = jobFailed, "bad_spec", err.Error()
+			}
+			q.jobs[r.Job] = j
+			q.batches[r.Batch] = append(q.batches[r.Batch], r.Job)
+			if r.Job >= q.nextJob {
+				q.nextJob = r.Job + 1
+			}
+			if r.Batch >= q.nextBatch {
+				q.nextBatch = r.Batch + 1
+			}
+		case recAttempt:
+			if j := q.jobs[r.Job]; j != nil {
+				j.attempts = r.Attempts
+			}
+		case recCkpt:
+			if j := q.jobs[r.Job]; j != nil {
+				j.resumeCycle, j.resumePath = r.Cycle, r.Path
+			}
+		case recDone:
+			if j := q.jobs[r.Job]; j != nil && j.state != jobFailed {
+				j.state, j.cached = jobDone, r.Cached
+			}
+		case recFail:
+			if j := q.jobs[r.Job]; j != nil && j.state != jobDone {
+				j.state = jobFailed
+				j.attempts, j.failKind, j.failText = r.Attempts, r.Kind, r.Err
+			}
+		}
+	}
+
+	// Materialize done results from the cache. A done record is only ever
+	// written after the cache entry, so a missing or corrupt entry means
+	// the file was deleted or rotted since — self-heal by recomputing.
+	ids := make([]uint64, 0, len(q.jobs))
+	for id := range q.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		j := q.jobs[id]
+		if j.state == jobDone {
+			res, err := cache.Peek(j.key)
+			if res == nil || err != nil {
+				j.state, j.cached, j.resumeCycle, j.resumePath = jobPending, false, 0, ""
+			} else {
+				j.result = res
+			}
+		}
+		switch j.state {
+		case jobDone:
+			q.done++
+		case jobFailed:
+			q.failed++
+		default:
+			j.state = jobPending // includes any would-be running
+			q.pending = append(q.pending, id)
+		}
+	}
+
+	if err := wal.Rewrite(q.liveRecords()); err != nil {
+		return nil, fmt.Errorf("wal compaction: %w", err)
+	}
+	return q, nil
+}
+
+// liveRecords flattens the current job table into the minimal WAL image:
+// one submit per job plus its surviving attempt/checkpoint/terminal state.
+// Caller holds no lock (only used during single-threaded recovery).
+func (q *queue) liveRecords() []Record {
+	var ids []uint64
+	for id := range q.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	var recs []Record
+	for _, id := range ids {
+		j := q.jobs[id]
+		recs = append(recs, Record{
+			Type: recSubmit, Job: j.id, Batch: j.batch, Index: j.index,
+			Key: j.key, Spec: j.specJSON, DeadlineMS: int64(j.deadline / time.Millisecond),
+		})
+		if j.attempts > 0 && j.state != jobFailed {
+			recs = append(recs, Record{Type: recAttempt, Job: j.id, Attempts: j.attempts})
+		}
+		if j.resumePath != "" && j.state != jobDone && j.state != jobFailed {
+			recs = append(recs, Record{Type: recCkpt, Job: j.id, Cycle: j.resumeCycle, Path: j.resumePath})
+		}
+		switch j.state {
+		case jobDone:
+			recs = append(recs, Record{Type: recDone, Job: j.id, Key: j.key, Cached: j.cached})
+		case jobFailed:
+			recs = append(recs, Record{Type: recFail, Job: j.id, Attempts: j.attempts, Kind: j.failKind, Err: j.failText})
+		}
+	}
+	return recs
+}
+
+// submit durably enqueues a batch. The WAL append (one fsync for the whole
+// batch) happens before any job becomes visible; an error leaves the queue
+// unchanged.
+func (q *queue) submit(specs []runner.Spec, deadline time.Duration) (uint64, []*job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	batch := q.nextBatch
+	jobs := make([]*job, len(specs))
+	recs := make([]Record, len(specs))
+	for i, sp := range specs {
+		blob, err := json.Marshal(&sp)
+		if err != nil {
+			return 0, nil, err
+		}
+		j := &job{
+			id: q.nextJob + uint64(i), batch: batch, index: i,
+			key: sp.CacheKey(), spec: sp, specJSON: blob, deadline: deadline,
+		}
+		jobs[i] = j
+		recs[i] = Record{
+			Type: recSubmit, Job: j.id, Batch: batch, Index: i,
+			Key: j.key, Spec: blob, DeadlineMS: int64(deadline / time.Millisecond),
+		}
+	}
+	if err := q.wal.Append(recs...); err != nil {
+		return 0, nil, err
+	}
+	q.nextBatch++
+	q.nextJob += uint64(len(specs))
+	for _, j := range jobs {
+		q.jobs[j.id] = j
+		q.pending = append(q.pending, j.id)
+		q.batches[batch] = append(q.batches[batch], j.id)
+	}
+	return batch, jobs, nil
+}
+
+// claim pops the first pending job whose backoff gate has passed, marking
+// it running. Returns nil when nothing is claimable right now.
+func (q *queue) claim(now time.Time) *job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, id := range q.pending {
+		j := q.jobs[id]
+		if j.notBefore.After(now) {
+			continue
+		}
+		q.pending = append(q.pending[:i], q.pending[i+1:]...)
+		j.state = jobRunning
+		q.running++
+		return j
+	}
+	return nil
+}
+
+// complete durably finishes a job. The result is already in the cache (its
+// durable home); the WAL records only the transition.
+func (q *queue) complete(j *job, res *Result, cached bool) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if err := q.wal.Append(Record{Type: recDone, Job: j.id, Key: j.key, Cached: cached}); err != nil {
+		return err
+	}
+	j.state, j.result, j.cached = jobDone, res, cached
+	q.running--
+	q.done++
+	return nil
+}
+
+// fail durably records a terminal failure.
+func (q *queue) fail(j *job, kind, text string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if err := q.wal.Append(Record{Type: recFail, Job: j.id, Attempts: j.attempts, Kind: kind, Err: text}); err != nil {
+		return err
+	}
+	j.state, j.failKind, j.failText = jobFailed, kind, text
+	q.running--
+	q.failed++
+	return nil
+}
+
+// requeueRetry returns a failed attempt to the queue with its new attempt
+// count persisted and an exponential-backoff gate. clearResume also
+// persists dropping the job's resume checkpoint (a replay divergence means
+// that checkpoint can never verify again — the job restarts from scratch).
+func (q *queue) requeueRetry(j *job, backoff time.Duration, clearResume bool) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j.attempts++
+	recs := []Record{{Type: recAttempt, Job: j.id, Attempts: j.attempts}}
+	if clearResume {
+		recs = append(recs, Record{Type: recCkpt, Job: j.id})
+	}
+	if err := q.wal.Append(recs...); err != nil {
+		return err
+	}
+	if clearResume {
+		j.resumeCycle, j.resumePath = 0, ""
+	}
+	j.state = jobPending
+	j.notBefore = time.Now().Add(backoff)
+	q.running--
+	q.pending = append(q.pending, j.id)
+	return nil
+}
+
+// noteRun accumulates per-attempt wall time and, when the attempt
+// verifiably replayed through a resume checkpoint, records that cycle.
+func (q *queue) noteRun(j *job, wallMS, resumedFrom int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j.wallMS += wallMS
+	if resumedFrom > 0 {
+		j.resumedFrom = resumedFrom
+	}
+}
+
+// requeuePreempt returns a deadline- or drain-preempted job to the queue
+// with its resume checkpoint persisted, so the next attempt (possibly in a
+// future process) resumes instead of restarting.
+func (q *queue) requeuePreempt(j *job, cycle int64, path string, countPreempt bool) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if err := q.wal.Append(Record{Type: recCkpt, Job: j.id, Cycle: cycle, Path: path}); err != nil {
+		return err
+	}
+	j.resumeCycle, j.resumePath = cycle, path
+	if countPreempt {
+		j.preempts++
+	}
+	j.state = jobPending
+	q.running--
+	q.pending = append(q.pending, j.id)
+	return nil
+}
+
+// depth is pending+running, the quantity admission control bounds.
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending) + q.running
+}
+
+func (q *queue) counts() (pending, running int, done, failed int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending), q.running, q.done, q.failed
+}
+
+func (j *job) status() JobStatus {
+	s := JobStatus{
+		Index:       j.index,
+		ID:          fmt.Sprintf("j%d", j.id),
+		Key:         fmt.Sprintf("%016x", j.key),
+		State:       j.state.String(),
+		Cached:      j.cached,
+		Attempts:    j.attempts,
+		Preemptions: j.preempts,
+		ResumedFrom: j.resumedFrom,
+		WallMS:      j.wallMS,
+	}
+	if j.state == jobPending || j.state == jobRunning {
+		s.ResumeCycle = j.resumeCycle
+	}
+	if r := j.result; r != nil {
+		s.Fingerprint = fmt.Sprintf("%#x", r.Fingerprint)
+		s.AppLine = r.AppLine
+		s.Elapsed = r.Elapsed
+		s.Breakdown = r.BreakdownMap()
+		s.Error = r.Err
+	}
+	if j.state == jobFailed {
+		s.FailKind, s.FailError = j.failKind, j.failText
+	}
+	return s
+}
+
+// batchStatus snapshots one batch, jobs in submit order.
+func (q *queue) batchStatus(batch uint64) (*BatchStatus, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ids, ok := q.batches[batch]
+	if !ok {
+		return nil, false
+	}
+	bs := &BatchStatus{
+		Batch:  fmt.Sprintf("b%d", batch),
+		Done:   true,
+		Counts: map[string]int{},
+	}
+	for _, id := range ids {
+		j := q.jobs[id]
+		st := j.status()
+		bs.Counts[st.State]++
+		if j.state != jobDone && j.state != jobFailed {
+			bs.Done = false
+		}
+		bs.Jobs = append(bs.Jobs, st)
+	}
+	return bs, true
+}
+
+func (q *queue) jobStatus(id uint64) (JobStatus, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(), true
+}

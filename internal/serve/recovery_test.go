@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// crash simulates kill -9 for in-process tests: workers are cut off (any
+// attempt already inside runner.Run finishes — a real SIGKILL would land
+// before or after a WAL append, and "after its completion record" is the
+// conservative in-process equivalent) and the WAL fd is released so a new
+// Server can own the file. No drain, no checkpointing, no goodbye records.
+func crash(s *Server) {
+	close(s.stop)
+	s.wg.Wait()
+	s.wal.Close()
+}
+
+// sweepMatrix is the six-cell matrix the CI e2e also uses.
+func sweepMatrix() []runner.Spec {
+	return []runner.Spec{
+		{App: "gauss", Machine: "mp", Procs: 4, Size: 48},
+		{App: "gauss", Machine: "sm", Procs: 4, Size: 48},
+		{App: "em3d", Machine: "mp", Procs: 4, Size: 40, Iters: 3},
+		{App: "em3d", Machine: "sm", Procs: 4, Size: 40, Iters: 3},
+		{App: "lcp", Machine: "mp", Procs: 4, Size: 128, Iters: 3},
+		{App: "lcp", Machine: "sm", Procs: 4, Size: 128, Iters: 3},
+	}
+}
+
+// TestCrashRecoveryPendingJobs: jobs acknowledged but never started survive
+// a crash — the restarted server carries the same batch, jobs, and keys,
+// and completes them with baseline-identical fingerprints.
+func TestCrashRecoveryPendingJobs(t *testing.T) {
+	dir := t.TempDir()
+	specs := sweepMatrix()[:3]
+	want := baselineFingerprints(t, specs)
+
+	s1 := newTestServer(t, dir, nil)
+	batch, jobs1 := submitDirect(t, s1, specs)
+	// Workers never started: the crash lands with everything pending.
+	crash(s1)
+
+	s2 := newTestServer(t, dir, nil)
+	defer s2.Close()
+	pending, running, done, failed := s2.q.counts()
+	if pending != len(specs) || running != 0 || done != 0 || failed != 0 {
+		t.Fatalf("recovered counts p=%d r=%d d=%d f=%d, want %d/0/0/0", pending, running, done, failed, len(specs))
+	}
+	bs, ok := s2.q.batchStatus(batch)
+	if !ok {
+		t.Fatalf("batch %d lost in recovery", batch)
+	}
+	for i, js := range bs.Jobs {
+		if js.ID != fmt.Sprintf("j%d", jobs1[i].id) || js.Key != fmt.Sprintf("%016x", jobs1[i].key) {
+			t.Fatalf("job %d identity changed across restart: %+v vs id=%d key=%016x", i, js, jobs1[i].id, jobs1[i].key)
+		}
+		if js.State != StatePending {
+			t.Fatalf("job %s recovered as %s, want pending", js.ID, js.State)
+		}
+	}
+
+	s2.Start()
+	defer s2.Drain(5 * time.Second)
+	for i, j := range jobs1 {
+		js := waitJobTerminal(t, s2, j.id, 30*time.Second)
+		if js.State != StateDone {
+			t.Fatalf("job %s: %s (%s)", js.ID, js.State, js.FailError)
+		}
+		if js.Fingerprint != want[i] {
+			t.Fatalf("job %s: fingerprint %s, want %s", js.ID, js.Fingerprint, want[i])
+		}
+	}
+}
+
+// TestCrashRecoveryMidSweep is the headline invariant: SIGKILL mid-sweep,
+// restart, and the sweep completes with every cell present exactly once —
+// jobs finished before the crash keep their results (from the cache, not a
+// rerun), unfinished jobs run exactly once on the new server, and every
+// fingerprint matches an uninterrupted baseline.
+func TestCrashRecoveryMidSweep(t *testing.T) {
+	dir := t.TempDir()
+	specs := sweepMatrix()
+	want := baselineFingerprints(t, specs)
+
+	s1 := newTestServer(t, dir, func(c *Config) { c.Jobs = 1 })
+	batch, jobs1 := submitDirect(t, s1, specs)
+	s1.Start()
+	// Let part of the sweep land, then pull the plug.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, _, done, _ := s1.q.counts(); done >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no progress before crash point")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	crash(s1)
+
+	stateAtCrash := make(map[uint64]JobStatus)
+	doneAtCrash := 0
+	for _, j := range jobs1 {
+		js, _ := s1.q.jobStatus(j.id)
+		stateAtCrash[j.id] = js
+		if js.State == StateDone {
+			doneAtCrash++
+		}
+	}
+	t.Logf("crashed with %d/%d done", doneAtCrash, len(specs))
+
+	s2 := newTestServer(t, dir, func(c *Config) { c.Jobs = 2 })
+	defer s2.Close()
+	// Count actual executions on the recovered server, per cache key.
+	var mu sync.Mutex
+	ran := make(map[uint64]int)
+	s2.runJob = func(sp runner.Spec, opts runner.Options) (*runner.Outcome, error) {
+		mu.Lock()
+		ran[sp.CacheKey()]++
+		mu.Unlock()
+		return runner.Run(sp, opts)
+	}
+
+	// Finished jobs survived as done (materialized from the cache), the
+	// rest recovered pending.
+	for _, j := range jobs1 {
+		js, ok := s2.q.jobStatus(j.id)
+		if !ok {
+			t.Fatalf("job j%d lost in recovery", j.id)
+		}
+		was := stateAtCrash[j.id]
+		switch was.State {
+		case StateDone:
+			if js.State != StateDone || js.Fingerprint != was.Fingerprint {
+				t.Fatalf("job j%d was done (%s), recovered as %s (%s)", j.id, was.Fingerprint, js.State, js.Fingerprint)
+			}
+		default:
+			if js.State != StatePending {
+				t.Fatalf("job j%d was %s, recovered as %s, want pending", j.id, was.State, js.State)
+			}
+		}
+	}
+
+	s2.Start()
+	defer s2.Drain(5 * time.Second)
+	for i, j := range jobs1 {
+		js := waitJobTerminal(t, s2, j.id, 60*time.Second)
+		if js.State != StateDone {
+			t.Fatalf("job j%d: %s (%s: %s)", j.id, js.State, js.FailKind, js.FailError)
+		}
+		if js.Fingerprint != want[i] {
+			t.Fatalf("job j%d: fingerprint %s, want %s", j.id, js.Fingerprint, want[i])
+		}
+	}
+	bs, _ := s2.q.batchStatus(batch)
+	if !bs.Done || bs.Counts[StateDone] != len(specs) {
+		t.Fatalf("batch after recovery: %+v", bs.Counts)
+	}
+
+	// Exactly once: the recovered server ran only the unfinished cells, and
+	// none of them more than once.
+	mu.Lock()
+	defer mu.Unlock()
+	for _, j := range jobs1 {
+		was := stateAtCrash[j.id].State
+		n := ran[j.key]
+		if was == StateDone && n != 0 {
+			t.Errorf("job j%d finished before the crash but reran %d times", j.id, n)
+		}
+		if was != StateDone && n != 1 {
+			t.Errorf("job j%d unfinished at crash ran %d times, want exactly 1", j.id, n)
+		}
+	}
+}
+
+// TestRecoverySelfHealsMissingCacheEntry: a done record whose cache entry
+// has vanished (deleted, rotted) recovers as pending and recomputes —
+// determinism guarantees the same fingerprint.
+func TestRecoverySelfHealsMissingCacheEntry(t *testing.T) {
+	dir := t.TempDir()
+	spec := sweepMatrix()[0]
+
+	s1 := newTestServer(t, dir, nil)
+	_, jobs1 := submitDirect(t, s1, []runner.Spec{spec})
+	s1.Start()
+	js := waitJobTerminal(t, s1, jobs1[0].id, 30*time.Second)
+	if js.State != StateDone {
+		t.Fatalf("first run: %s", js.State)
+	}
+	crash(s1)
+
+	if err := os.Remove(s1.cache.path(jobs1[0].key)); err != nil {
+		t.Fatalf("deleting cache entry: %v", err)
+	}
+
+	s2 := newTestServer(t, dir, nil)
+	defer s2.Close()
+	if got, _ := s2.q.jobStatus(jobs1[0].id); got.State != StatePending {
+		t.Fatalf("job with lost cache entry recovered as %s, want pending", got.State)
+	}
+	s2.Start()
+	defer s2.Drain(5 * time.Second)
+	js2 := waitJobTerminal(t, s2, jobs1[0].id, 30*time.Second)
+	if js2.State != StateDone || js2.Fingerprint != js.Fingerprint {
+		t.Fatalf("recomputed: %s fp=%s, want done fp=%s", js2.State, js2.Fingerprint, js.Fingerprint)
+	}
+}
+
+// TestRecoveryPreservesTerminalFailures: typed terminal failures are
+// durable — a restart does not resurrect a job that already exhausted its
+// retry budget.
+func TestRecoveryPreservesTerminalFailures(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newTestServer(t, dir, func(c *Config) { c.MaxRetries = 1 })
+	s1.runJob = func(spec runner.Spec, opts runner.Options) (*runner.Outcome, error) {
+		return nil, fmt.Errorf("injected persistent failure")
+	}
+	_, jobs1 := submitDirect(t, s1, sweepMatrix()[:1])
+	s1.Start()
+	js := waitJobTerminal(t, s1, jobs1[0].id, 30*time.Second)
+	if js.State != StateFailed {
+		t.Fatalf("setup: %s", js.State)
+	}
+	crash(s1)
+
+	s2 := newTestServer(t, dir, nil)
+	defer s2.Close()
+	js2, _ := s2.q.jobStatus(jobs1[0].id)
+	if js2.State != StateFailed || js2.FailKind != js.FailKind || js2.FailError != js.FailError || js2.Attempts != js.Attempts {
+		t.Fatalf("terminal failure mutated across restart:\n was %+v\n now %+v", js, js2)
+	}
+}
+
+// TestDrainParksRunningJobAtCheckpoint: SIGTERM-style drain interrupts a
+// running job so it checkpoints at a quantum boundary and parks as
+// pending-with-resume; a restarted server resumes it through that exact
+// checkpoint (replay-verified) and finishes with the baseline fingerprint.
+func TestDrainParksRunningJobAtCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	// A longer cell (~hundreds of ms) so drain lands mid-run.
+	spec := runner.Spec{App: "gauss", Machine: "mp", Procs: 4, Size: 160}
+	base, err := runner.Run(spec, runner.Options{})
+	if err != nil || base.Res.Err != nil {
+		t.Fatalf("baseline: %v / %v", err, base.Res.Err)
+	}
+
+	s1 := newTestServer(t, dir, func(c *Config) { c.Jobs = 1 })
+	_, jobs1 := submitDirect(t, s1, []runner.Spec{spec})
+	s1.Start()
+	// Wait until the job is actually running, then drain.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if js, _ := s1.q.jobStatus(jobs1[0].id); js.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond) // let some cycles accumulate
+	if err := s1.Drain(10 * time.Second); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	js, _ := s1.q.jobStatus(jobs1[0].id)
+	s1.Close()
+	if js.State == StateDone {
+		// The run beat the drain on a fast host; nothing to resume.
+		t.Skipf("job finished before drain landed (wall %dms); nothing to park", js.WallMS)
+	}
+	if js.State != StatePending || js.ResumeCycle <= 0 {
+		t.Fatalf("drained job: state=%s resume_cycle=%d, want pending with a checkpoint", js.State, js.ResumeCycle)
+	}
+	if js.Preemptions != 0 {
+		t.Fatalf("drain preemption counted against the deadline budget: %d", js.Preemptions)
+	}
+
+	s2 := newTestServer(t, dir, nil)
+	defer s2.Close()
+	js2, _ := s2.q.jobStatus(jobs1[0].id)
+	if js2.State != StatePending || js2.ResumeCycle != js.ResumeCycle {
+		t.Fatalf("parked checkpoint lost: %+v", js2)
+	}
+	s2.Start()
+	defer s2.Drain(5 * time.Second)
+	fin := waitJobTerminal(t, s2, jobs1[0].id, 60*time.Second)
+	if fin.State != StateDone {
+		t.Fatalf("resumed job: %s (%s: %s)", fin.State, fin.FailKind, fin.FailError)
+	}
+	if fin.ResumedFrom != js.ResumeCycle {
+		t.Fatalf("ResumedFrom=%d, want the parked checkpoint cycle %d (verified resume)", fin.ResumedFrom, js.ResumeCycle)
+	}
+	if want := fmt.Sprintf("%#x", base.Fingerprint); fin.Fingerprint != want {
+		t.Fatalf("fingerprint %s after drain+resume, want %s", fin.Fingerprint, want)
+	}
+}

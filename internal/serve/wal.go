@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/snapshot"
+)
+
+// The write-ahead log is the queue's durability layer. Every state change a
+// restart must survive — a job submitted, an attempt failed, a preemption
+// checkpoint taken, a job finished — is appended and fsynced before the
+// change is acknowledged anywhere else. Recovery replays the log: a job
+// with a submit record but no terminal record is pending again (a job that
+// was mid-run when the process died simply reruns — results are
+// deterministic and the cache makes re-completion idempotent).
+//
+// The format reuses the snapshot package's canonical encoder: a fixed
+// header, then self-checksummed records. A torn tail — the one corruption a
+// kill -9 can produce, since records are synced in order — is detected by
+// its checksum and truncated away on open.
+
+const (
+	walMagic           = "WWTWAL\x00"
+	walVersion  uint32 = 1
+	walFileName        = "queue.wal"
+)
+
+type recType uint8
+
+const (
+	recSubmit  recType = 1 // job accepted: batch, index, key, spec JSON, deadline
+	recDone    recType = 2 // job completed; result lives in the cache under Key
+	recFail    recType = 3 // job terminally failed: kind + last error
+	recAttempt recType = 4 // one attempt failed; Attempts is the new count
+	recCkpt    recType = 5 // preemption checkpoint taken: cycle + path
+)
+
+// Record is one durable queue event. Which fields are meaningful depends on
+// Type; encoding is canonical per type.
+type Record struct {
+	Type recType
+	Job  uint64
+
+	// recSubmit
+	Batch      uint64
+	Index      int
+	Key        uint64
+	Spec       []byte // runner.Spec as JSON
+	DeadlineMS int64
+
+	// recDone
+	Cached bool
+
+	// recFail / recAttempt
+	Attempts int
+	Kind     string
+	Err      string
+
+	// recCkpt
+	Cycle int64
+	Path  string
+}
+
+func (r *Record) payload() []byte {
+	var e snapshot.Enc
+	e.U64(r.Job)
+	switch r.Type {
+	case recSubmit:
+		e.U64(r.Batch)
+		e.I64(int64(r.Index))
+		e.U64(r.Key)
+		e.Blob(r.Spec)
+		e.I64(r.DeadlineMS)
+	case recDone:
+		e.U64(r.Key)
+		e.Bool(r.Cached)
+	case recFail:
+		e.I64(int64(r.Attempts))
+		e.Str(r.Kind)
+		e.Str(r.Err)
+	case recAttempt:
+		e.I64(int64(r.Attempts))
+	case recCkpt:
+		e.I64(r.Cycle)
+		e.Str(r.Path)
+	}
+	return e.Bytes()
+}
+
+func decodeRecord(t recType, payload []byte) (Record, error) {
+	d := snapshot.NewDec(payload)
+	r := Record{Type: t}
+	r.Job = d.U64()
+	switch t {
+	case recSubmit:
+		r.Batch = d.U64()
+		r.Index = int(d.I64())
+		r.Key = d.U64()
+		r.Spec = d.Blob()
+		r.DeadlineMS = d.I64()
+	case recDone:
+		r.Key = d.U64()
+		r.Cached = d.Bool()
+	case recFail:
+		r.Attempts = int(d.I64())
+		r.Kind = d.Str()
+		r.Err = d.Str()
+	case recAttempt:
+		r.Attempts = int(d.I64())
+	case recCkpt:
+		r.Cycle = d.I64()
+		r.Path = d.Str()
+	default:
+		return r, fmt.Errorf("wal: unknown record type %d", t)
+	}
+	if d.Err != nil {
+		return r, fmt.Errorf("wal: record type %d: %w", t, d.Err)
+	}
+	if d.Remaining() != 0 {
+		return r, fmt.Errorf("wal: record type %d: %d trailing payload bytes", t, d.Remaining())
+	}
+	return r, nil
+}
+
+// encodeRecord frames one record: type byte, length-prefixed payload, then
+// an FNV-1a checksum over both, so replay can tell a torn append from an
+// intact record.
+func encodeRecord(r *Record) []byte {
+	var e snapshot.Enc
+	e.U8(uint8(r.Type))
+	e.Blob(r.payload())
+	e.U64(snapshot.Hash(e.Bytes()))
+	return e.Bytes()
+}
+
+// WAL is an append-only, fsynced record log.
+type WAL struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	records int64
+}
+
+// OpenWAL opens (or creates) the log at path, replays every intact record,
+// and truncates away a torn tail. It returns the replayed records in append
+// order; tornBytes reports how much of a torn tail was discarded (0 for a
+// clean log).
+func OpenWAL(path string) (w *WAL, recs []Record, tornBytes int, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, 0, err
+	}
+
+	goodLen := len(walMagic) + 4
+	if len(b) == 0 {
+		var e snapshot.Enc
+		e.U32(walVersion)
+		if err := os.WriteFile(path, append([]byte(walMagic), e.Bytes()...), 0o644); err != nil {
+			return nil, nil, 0, err
+		}
+	} else {
+		if len(b) < goodLen || string(b[:len(walMagic)]) != walMagic {
+			return nil, nil, 0, fmt.Errorf("wal: %s is not a queue log (bad magic)", path)
+		}
+		hd := snapshot.NewDec(b[len(walMagic):])
+		if v := hd.U32(); v != walVersion {
+			return nil, nil, 0, fmt.Errorf("wal: %s: format version %d (this build reads %d)", path, v, walVersion)
+		}
+		body := b[goodLen:]
+		d := snapshot.NewDec(body)
+		for d.Remaining() > 0 {
+			t := d.U8()
+			payload := d.Blob()
+			sum := d.U64()
+			if d.Err != nil {
+				break // torn tail: record cut mid-field
+			}
+			var ck snapshot.Enc
+			ck.U8(t)
+			ck.Blob(payload)
+			if snapshot.Hash(ck.Bytes()) != sum {
+				break // torn tail: record framed but contents incomplete
+			}
+			rec, derr := decodeRecord(recType(t), payload)
+			if derr != nil {
+				break
+			}
+			recs = append(recs, rec)
+			goodLen = len(walMagic) + 4 + (len(body) - d.Remaining())
+		}
+		tornBytes = len(b) - goodLen
+		if tornBytes > 0 {
+			if err := os.Truncate(path, int64(goodLen)); err != nil {
+				return nil, nil, tornBytes, err
+			}
+		}
+	}
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, tornBytes, err
+	}
+	return &WAL{f: f, path: path, records: int64(len(recs))}, recs, tornBytes, nil
+}
+
+// Append durably writes recs as one unit: all records hit the file in order
+// and a single fsync covers them. On return the records survive kill -9.
+func (w *WAL) Append(recs ...Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var buf []byte
+	for i := range recs {
+		buf = append(buf, encodeRecord(&recs[i])...)
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.records += int64(len(recs))
+	return nil
+}
+
+// Records returns the number of records written to or replayed from the
+// log since open (a /stats gauge).
+func (w *WAL) Records() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records
+}
+
+// Rewrite atomically replaces the log's contents with recs — compaction
+// after recovery collapses a long history (attempt records, superseded
+// checkpoints) into the minimal state a future recovery needs.
+func (w *WAL) Rewrite(recs []Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var e snapshot.Enc
+	buf := append([]byte(nil), walMagic...)
+	e.U32(walVersion)
+	buf = append(buf, e.Bytes()...)
+	for i := range recs {
+		buf = append(buf, encodeRecord(&recs[i])...)
+	}
+	if err := snapshot.AtomicWriteFile(w.path, buf); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f.Close()
+	w.f = f
+	w.records = int64(len(recs))
+	return w.f.Sync()
+}
+
+// Close syncs and closes the log.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

@@ -134,13 +134,14 @@ func Decode(b []byte) (*Snapshot, error) {
 	return s, nil
 }
 
-// WriteFile atomically writes the encoded snapshot to path (write to a
-// temporary file in the same directory, then rename), so a run killed
-// mid-checkpoint never leaves a torn file that a later resume would trip
-// over.
-func WriteFile(path string, s *Snapshot) error {
+// AtomicWriteFile writes data to path via a temporary file in the same
+// directory plus a rename, so readers only ever observe the old contents or
+// the complete new contents — never a torn file. Every durable artifact in
+// this repo (checkpoints, cached results, sweep results files) goes through
+// it.
+func AtomicWriteFile(path string, data []byte) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, Encode(s), 0o644); err != nil {
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
@@ -148,6 +149,13 @@ func WriteFile(path string, s *Snapshot) error {
 		return err
 	}
 	return nil
+}
+
+// WriteFile atomically writes the encoded snapshot to path, so a run killed
+// mid-checkpoint never leaves a torn file that a later resume would trip
+// over.
+func WriteFile(path string, s *Snapshot) error {
+	return AtomicWriteFile(path, Encode(s))
 }
 
 // ReadFile reads and decodes a snapshot file.
