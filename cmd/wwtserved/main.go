@@ -13,6 +13,12 @@
 //	wwtserved [-addr HOST:PORT] [-dir DIR] [-jobs N] [-run-workers N]
 //	          [-max-queue N] [-retries N] [-max-preempts N]
 //	          [-deadline DUR] [-backoff DUR] [-drain-timeout DUR] [-quiet]
+//	          [-wal-segment-bytes N] [-fault-fsplan PLAN]
+//
+// -fault-fsplan installs a seeded, deterministic filesystem fault plan
+// under every durable artifact (WAL, cache, checkpoints) — the disk-level
+// sibling of wwtsim's -faults/-faultseed — e.g.
+// "seed=7,torn=0.02,fsync=0.01,enospc=0.05,crash=123". For testing only.
 //
 // Drive it with `wwtsweep -server http://HOST:PORT ...` or raw HTTP (see
 // internal/serve for the API).
@@ -33,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/vfs"
 )
 
 func main() {
@@ -47,25 +54,38 @@ func main() {
 	backoff := flag.Duration("backoff", 250*time.Millisecond, "base retry backoff (doubles per attempt)")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "max wait for in-flight jobs to checkpoint on SIGTERM")
 	quiet := flag.Bool("quiet", false, "suppress per-job progress logs")
+	segBytes := flag.Int64("wal-segment-bytes", serve.DefaultSegmentBytes, "WAL segment rotation threshold")
+	fsplan := flag.String("fault-fsplan", "", "seeded filesystem fault plan (testing), e.g. seed=7,torn=0.02,fsync=0.01,enospc=0.05,crash=N")
 	flag.Parse()
 
 	logf := log.Printf
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
+	var fsys vfs.FS
+	if *fsplan != "" {
+		plan, err := vfs.ParsePlan(*fsplan)
+		if err != nil {
+			log.Fatalf("wwtserved: %v", err)
+		}
+		log.Printf("wwtserved: injecting filesystem faults: %s", *fsplan)
+		fsys = vfs.NewFaulty(vfs.OS{}, plan)
+	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		log.Fatalf("wwtserved: %v", err)
 	}
 	s, err := serve.New(serve.Config{
-		Dir:         *dir,
-		Jobs:        *jobs,
-		RunWorkers:  *runWorkers,
-		MaxQueue:    *maxQueue,
-		MaxRetries:  *retries,
-		MaxPreempts: *maxPreempts,
-		Deadline:    *deadline,
-		Backoff:     *backoff,
-		Logf:        logf,
+		Dir:             *dir,
+		FS:              fsys,
+		WALSegmentBytes: *segBytes,
+		Jobs:            *jobs,
+		RunWorkers:      *runWorkers,
+		MaxQueue:        *maxQueue,
+		MaxRetries:      *retries,
+		MaxPreempts:     *maxPreempts,
+		Deadline:        *deadline,
+		Backoff:         *backoff,
+		Logf:            logf,
 	})
 	if err != nil {
 		log.Fatalf("wwtserved: %v", err)

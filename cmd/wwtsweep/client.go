@@ -107,8 +107,8 @@ func resultsFromBatch(specs []runner.Spec, bs *serve.BatchStatus) []RunResult {
 }
 
 // doRetry performs one API call, retrying retryable failures (connection
-// errors, 429 queue_full, 503 draining) with exponential backoff until
-// c.patience of consecutive failure has elapsed.
+// errors, 429 queue_full, 503 draining, 507 no_space, storage 500s) with
+// exponential backoff until c.patience of consecutive failure has elapsed.
 func (c *client) doRetry(method, path string, in, out any) error {
 	backoff := 100 * time.Millisecond
 	var firstFail time.Time
@@ -182,11 +182,17 @@ func (e *httpError) Error() string {
 }
 
 // retryable reports whether an error is worth waiting out: anything
-// transport-level (daemon down or restarting), plus explicit load shedding
-// and drain responses.
+// transport-level (daemon down or restarting), explicit load shedding and
+// drain responses, and storage-degradation refusals — the daemon never acks
+// a submit it could not make durable, so a 507 (disk full, queue paused) or
+// a typed storage 500 is safe to resubmit once the disk recovers.
 func retryable(err error) bool {
 	if he, ok := err.(*httpError); ok {
-		return he.code == http.StatusTooManyRequests || he.code == http.StatusServiceUnavailable
+		switch he.code {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusInsufficientStorage:
+			return true
+		}
+		return he.code == http.StatusInternalServerError && he.api.Kind == serve.ErrStorage
 	}
 	// Non-HTTP errors are transport failures (connection refused/reset
 	// while the daemon is down): always worth retrying within patience.

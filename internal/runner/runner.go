@@ -29,7 +29,13 @@ import (
 	"repro/internal/parmacs"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
+	"repro/internal/vfs"
 )
+
+// MaxProcs bounds Spec.Procs. 4096 comfortably covers the scaling studies
+// on the roadmap (the paper's machines stop at 64; the 1024-proc synthetic
+// study needs headroom beyond that) while still rejecting nonsense.
+const MaxProcs = 4096
 
 // Spec is a complete, JSON-serializable run description: everything needed
 // to rebuild the identical machine and program. It is stored verbatim in
@@ -63,8 +69,8 @@ func (s *Spec) Validate() error {
 	default:
 		return fmt.Errorf("runner: unknown machine %q", s.Machine)
 	}
-	if s.Procs < 1 || s.Procs > 128 {
-		return fmt.Errorf("runner: procs %d out of supported range [1,128]", s.Procs)
+	if s.Procs < 1 || s.Procs > MaxProcs {
+		return fmt.Errorf("runner: procs %d out of supported range [1,%d]", s.Procs, MaxProcs)
 	}
 	if s.CacheBytes < 0 || s.Size < 0 || s.Iters < 0 {
 		return fmt.Errorf("runner: negative size/iteration override")
@@ -159,6 +165,17 @@ type Options struct {
 	// Run with Resume picks the job up from that cycle (replay-verified)
 	// instead of discarding the work.
 	Interrupt *Interrupt
+	// FS, when non-nil, routes checkpoint writes through an explicit
+	// filesystem (the sweep service passes its fault-injectable one). nil
+	// means the host filesystem.
+	FS vfs.FS
+}
+
+func (o *Options) fs() vfs.FS {
+	if o.FS != nil {
+		return o.FS
+	}
+	return vfs.OS{}
 }
 
 // Interrupt is a one-shot, goroutine-safe preemption request. The zero
@@ -348,7 +365,7 @@ func Run(spec Spec, opts Options) (*Outcome, error) {
 					next += every
 				}
 				path := filepath.Join(opts.CheckpointDir, fmt.Sprintf("ckpt-%d.wws", now))
-				if err := snapshot.WriteFile(path, capture(now)); err != nil {
+				if err := snapshot.WriteFileFS(opts.fs(), path, capture(now)); err != nil {
 					hookErr = err
 					eng.Abort(err)
 					return
@@ -364,7 +381,7 @@ func Run(spec Spec, opts Options) (*Outcome, error) {
 					return
 				}
 				path := filepath.Join(opts.CheckpointDir, fmt.Sprintf("preempt-%d.wws", now))
-				if err := snapshot.WriteFile(path, capture(now)); err != nil {
+				if err := snapshot.WriteFileFS(opts.fs(), path, capture(now)); err != nil {
 					hookErr = err
 					eng.Abort(err)
 					return

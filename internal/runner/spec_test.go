@@ -190,7 +190,7 @@ func TestValidateRejects(t *testing.T) {
 		{"unknown machine", func(s *Spec) { s.Machine = "vax" }},
 		{"zero procs", func(s *Spec) { s.Procs = 0 }},
 		{"negative procs", func(s *Spec) { s.Procs = -4 }},
-		{"excessive procs", func(s *Spec) { s.Procs = 129 }},
+		{"excessive procs", func(s *Spec) { s.Procs = MaxProcs + 1 }},
 		{"negative cache", func(s *Spec) { s.CacheBytes = -1 }},
 		{"negative size", func(s *Spec) { s.Size = -8 }},
 		{"negative iters", func(s *Spec) { s.Iters = -1 }},
@@ -207,6 +207,23 @@ func TestValidateRejects(t *testing.T) {
 		if err := s.Validate(); err == nil {
 			t.Errorf("%s: Validate accepted %+v", c.name, s)
 		}
+	}
+}
+
+// TestValidateProcsBoundary pins the procs cap itself: exactly MaxProcs
+// validates (the scaling studies need every proc up to the cap), one past
+// it does not.
+func TestValidateProcsBoundary(t *testing.T) {
+	s := Spec{App: "gauss", Machine: "mp", Procs: MaxProcs}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate rejected procs=%d (the documented cap): %v", MaxProcs, err)
+	}
+	s.Procs = MaxProcs + 1
+	if err := s.Validate(); err == nil {
+		t.Errorf("Validate accepted procs=%d (cap is %d)", s.Procs, MaxProcs)
+	}
+	if MaxProcs < 1024 {
+		t.Errorf("MaxProcs = %d blocks the roadmap's 1024-proc study", MaxProcs)
 	}
 }
 

@@ -120,6 +120,17 @@ type StatsResponse struct {
 	Draining    bool    `json:"draining"`
 	UptimeMS    int64   `json:"uptime_ms"`
 	WALRecords  int64   `json:"wal_records"`
+
+	// Storage health: WAL segment count, records quarantined at recovery
+	// (WAL) and at read time (cache), durable-write failures absorbed by
+	// the degraded paths, whether admission is paused on ENOSPC, and — when
+	// the server runs under an injected fault plan — how many faults fired.
+	WALSegments      int   `json:"wal_segments"`
+	WALQuarantined   int64 `json:"wal_quarantined,omitempty"`
+	CacheQuarantined int64 `json:"cache_quarantined,omitempty"`
+	StorageErrs      int64 `json:"storage_errs,omitempty"`
+	StoragePaused    bool  `json:"storage_paused,omitempty"`
+	FSFaults         int64 `json:"fs_faults,omitempty"`
 }
 
 // Error kinds returned in APIError.Kind.
@@ -129,6 +140,8 @@ const (
 	ErrDraining  = "draining"   // 503: server is draining to checkpoints
 	ErrNotFound  = "not_found"  // 404
 	ErrBadBody   = "bad_body"   // 400: body is not valid JSON
+	ErrNoSpace   = "no_space"   // 507: durable storage out of space, queue paused
+	ErrStorage   = "storage"    // 500: a durable write failed; the submit was NOT acked
 )
 
 // APIError is the typed error body every non-2xx response carries.

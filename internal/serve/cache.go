@@ -2,11 +2,11 @@ package serve
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync/atomic"
 
 	"repro/internal/snapshot"
+	"repro/internal/vfs"
 )
 
 // The result cache is content-addressed: a completed cell is stored in one
@@ -14,8 +14,9 @@ import (
 // simulator is deterministic, so the key fully identifies the result —
 // resubmitting a spec returns the stored record, bit-identical to a fresh
 // run, marked as a cache hit. Files are checksummed and written atomically;
-// a corrupt or torn entry decodes to a typed error and is simply recomputed
-// and overwritten.
+// a corrupt or torn entry decodes to a typed error, is quarantined to a
+// sibling *.quarantine file (preserving the evidence for the operator), and
+// is recomputed.
 
 const (
 	resMagic          = "WWTRES\x00"
@@ -72,16 +73,18 @@ func (e *CorruptResultError) Error() string {
 
 // Cache is the on-disk result store.
 type Cache struct {
+	fs           vfs.FS
 	dir          string
 	hits, misses atomic.Int64
+	quarantined  atomic.Int64
 }
 
-// OpenCache opens (creating if needed) a cache directory.
-func OpenCache(dir string) (*Cache, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// OpenCache opens (creating if needed) a cache directory on fsys.
+func OpenCache(fsys vfs.FS, dir string) (*Cache, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &Cache{dir: dir}, nil
+	return &Cache{fs: fsys, dir: dir}, nil
 }
 
 func (c *Cache) path(key uint64) string {
@@ -162,11 +165,13 @@ func (c *Cache) Get(key uint64) (*Result, error) {
 }
 
 // Peek is Get without touching the hit/miss counters — recovery and status
-// queries use it so introspection doesn't skew the serving hit rate.
+// queries use it so introspection doesn't skew the serving hit rate. A
+// corrupt entry is quarantined (renamed to *.quarantine) so the next Put is
+// a clean write and the rotten bytes stay inspectable.
 func (c *Cache) Peek(key uint64) (*Result, error) {
 	p := c.path(key)
-	b, err := os.ReadFile(p)
-	if os.IsNotExist(err) {
+	b, err := c.fs.ReadFile(p)
+	if vfs.IsNotExist(err) {
 		return nil, nil
 	}
 	if err != nil {
@@ -177,19 +182,31 @@ func (c *Cache) Peek(key uint64) (*Result, error) {
 		if ce, ok := err.(*CorruptResultError); ok {
 			ce.Path = p
 		}
+		c.quarantine(p)
 		return nil, err
 	}
 	if r.Key != key {
+		c.quarantine(p)
 		return nil, &CorruptResultError{Path: p, Reason: "key field does not match file name"}
 	}
 	return r, nil
 }
 
-// Put atomically stores r under its key.
-func (c *Cache) Put(r *Result) error {
-	return snapshot.AtomicWriteFile(c.path(r.Key), Encode(r))
+// quarantine moves a corrupt entry aside. Best-effort: if the rename fails
+// the entry stays in place and the next Put overwrites it anyway.
+func (c *Cache) quarantine(p string) {
+	if c.fs.Rename(p, p+".quarantine") == nil {
+		c.quarantined.Add(1)
+	}
 }
 
-// Hits and Misses expose the serving counters.
-func (c *Cache) Hits() int64   { return c.hits.Load() }
-func (c *Cache) Misses() int64 { return c.misses.Load() }
+// Put atomically stores r under its key.
+func (c *Cache) Put(r *Result) error {
+	return snapshot.AtomicWriteFileFS(c.fs, c.path(r.Key), Encode(r))
+}
+
+// Hits and Misses expose the serving counters; Quarantined counts corrupt
+// entries moved aside.
+func (c *Cache) Hits() int64        { return c.hits.Load() }
+func (c *Cache) Misses() int64      { return c.misses.Load() }
+func (c *Cache) Quarantined() int64 { return c.quarantined.Load() }

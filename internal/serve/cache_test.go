@@ -4,6 +4,8 @@ import (
 	"os"
 	"reflect"
 	"testing"
+
+	"repro/internal/vfs"
 )
 
 func sampleResult() *Result {
@@ -23,7 +25,7 @@ func sampleResult() *Result {
 // TestCacheRoundTrip: Put then Get returns an identical record and counts a
 // hit; a missing key is a clean miss.
 func TestCacheRoundTrip(t *testing.T) {
-	c, err := OpenCache(t.TempDir())
+	c, err := OpenCache(vfs.OS{}, t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +67,7 @@ func TestCacheEncodingCanonical(t *testing.T) {
 // TestCacheDetectsCorruption: every single-byte corruption of a stored
 // entry decodes to a typed error, never to silently wrong data.
 func TestCacheDetectsCorruption(t *testing.T) {
-	c, err := OpenCache(t.TempDir())
+	c, err := OpenCache(vfs.OS{}, t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,11 +106,57 @@ func TestCacheDetectsCorruption(t *testing.T) {
 			t.Fatalf("truncated to %d bytes: decoded without error", cut)
 		}
 	}
+	if c.Quarantined() == 0 {
+		t.Fatal("corrupt entries were never quarantined")
+	}
+}
+
+// TestCacheQuarantinesCorruptEntry: a corrupt entry is moved to a sibling
+// .quarantine file (the evidence survives) and the slot reads as a clean
+// miss afterwards, so the result is recomputed and re-stored.
+func TestCacheQuarantinesCorruptEntry(t *testing.T) {
+	c, err := OpenCache(vfs.OS{}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleResult()
+	if err := c.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	path := c.path(want.Key)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0x01
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, gerr := c.Peek(want.Key); gerr == nil {
+		t.Fatal("corrupt entry decoded cleanly")
+	}
+	if c.Quarantined() != 1 {
+		t.Fatalf("quarantined = %d, want 1", c.Quarantined())
+	}
+	if _, err := os.Stat(path + ".quarantine"); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	// The slot is now a clean miss and a fresh Put restores service.
+	if r, gerr := c.Peek(want.Key); r != nil || gerr != nil {
+		t.Fatalf("after quarantine: got %+v / %v, want clean miss", r, gerr)
+	}
+	if err := c.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	got, gerr := c.Get(want.Key)
+	if gerr != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("after re-put: %+v / %v", got, gerr)
+	}
 }
 
 // TestCacheErrResult: deterministic aborts are cacheable results.
 func TestCacheErrResult(t *testing.T) {
-	c, err := OpenCache(t.TempDir())
+	c, err := OpenCache(vfs.OS{}, t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -83,9 +83,11 @@ type queue struct {
 
 // recoverQueue rebuilds the job table from replayed WAL records, restores
 // lost results from the cache where possible, and compacts the log down to
-// the minimal record set a future recovery needs.
-func recoverQueue(wal *WAL, recs []Record, cache *Cache) (*queue, error) {
-	q := &queue{
+// the minimal record set a future recovery needs. A failed compaction is
+// reported but not fatal: the uncompacted segments replay to the same job
+// table, so the queue opens degraded rather than refusing to serve.
+func recoverQueue(wal *WAL, recs []Record, cache *Cache) (q *queue, compactErr error) {
+	q = &queue{
 		wal:     wal,
 		jobs:    make(map[uint64]*job),
 		batches: make(map[uint64][]uint64),
@@ -107,8 +109,13 @@ func recoverQueue(wal *WAL, recs []Record, cache *Cache) (*queue, error) {
 				// typed terminal failure beats wedging recovery.
 				j.state, j.failKind, j.failText = jobFailed, "bad_spec", err.Error()
 			}
+			// A crash mid-compaction can replay the same submit from both an
+			// old segment and the partial compacted one; the fresh record
+			// wins, but the job must not be listed in its batch twice.
+			if _, dup := q.jobs[r.Job]; !dup {
+				q.batches[r.Batch] = append(q.batches[r.Batch], r.Job)
+			}
 			q.jobs[r.Job] = j
-			q.batches[r.Batch] = append(q.batches[r.Batch], r.Job)
 			if r.Job >= q.nextJob {
 				q.nextJob = r.Job + 1
 			}
@@ -164,10 +171,10 @@ func recoverQueue(wal *WAL, recs []Record, cache *Cache) (*queue, error) {
 		}
 	}
 
-	if err := wal.Rewrite(q.liveRecords()); err != nil {
-		return nil, fmt.Errorf("wal compaction: %w", err)
+	if err := wal.Compact(q.liveRecords()); err != nil {
+		compactErr = fmt.Errorf("wal compaction: %w", err)
 	}
-	return q, nil
+	return q, compactErr
 }
 
 // liveRecords flattens the current job table into the minimal WAL image:
@@ -291,14 +298,16 @@ func (q *queue) fail(j *job, kind, text string) error {
 func (q *queue) requeueRetry(j *job, backoff time.Duration, clearResume bool) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	j.attempts++
-	recs := []Record{{Type: recAttempt, Job: j.id, Attempts: j.attempts}}
+	att := j.attempts + 1
+	recs := []Record{{Type: recAttempt, Job: j.id, Attempts: att}}
 	if clearResume {
 		recs = append(recs, Record{Type: recCkpt, Job: j.id})
 	}
 	if err := q.wal.Append(recs...); err != nil {
+		// Nothing durable changed, so nothing in memory may either.
 		return err
 	}
+	j.attempts = att
 	if clearResume {
 		j.resumeCycle, j.resumePath = 0, ""
 	}
@@ -307,6 +316,24 @@ func (q *queue) requeueRetry(j *job, backoff time.Duration, clearResume bool) er
 	q.running--
 	q.pending = append(q.pending, j.id)
 	return nil
+}
+
+// unclaim returns a running job to pending without touching the WAL — the
+// degraded path when the durable transition itself could not be written
+// (ENOSPC, failed fsync). Legal because "running" is not a WAL state:
+// recovery would have treated the job as pending anyway, so the in-memory
+// table just converges to what a crash-and-reopen would produce. The
+// backoff gate keeps a storage outage from spinning the workers.
+func (q *queue) unclaim(j *job, backoff time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j.state != jobRunning {
+		return
+	}
+	j.state = jobPending
+	j.notBefore = time.Now().Add(backoff)
+	q.running--
+	q.pending = append(q.pending, j.id)
 }
 
 // noteRun accumulates per-attempt wall time and, when the attempt

@@ -8,11 +8,15 @@ import (
 	"net/http/httptest"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"testing"
 	"time"
 
 	"repro/internal/cost"
 	"repro/internal/runner"
+	"repro/internal/vfs"
 )
 
 // testSpecs is a small cross-machine matrix; each cell runs in ~10ms.
@@ -496,5 +500,163 @@ func TestAbortedRunIsAResult(t *testing.T) {
 	}
 	if attempts != 1 {
 		t.Fatalf("cached abort reran the job: %d attempts", attempts)
+	}
+}
+
+// TestDrainRacingSubmits: a drain firing while batch submits are mid-flight
+// must leave every acked batch durable (ack-and-park) or refuse it with a
+// typed 503 — never ack-and-lose. Workers are deliberately not started, so
+// an acked job can only survive via the WAL.
+func TestDrainRacingSubmits(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, dir, nil)
+	ts := httptest.NewServer(s.Handler())
+
+	const G = 16
+	type outcome struct {
+		code int
+		kind string
+		jobs []string
+	}
+	results := make([]outcome, G)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			spec := runner.Spec{App: "gauss", Machine: "mp", Procs: 4, Size: 10 + g}
+			var sub SubmitResponse
+			code, apiErr := postJSON(t, ts, "/v1/batches", &SubmitRequest{Runs: []runner.Spec{spec}}, &sub)
+			o := outcome{code: code}
+			if apiErr != nil {
+				o.kind = apiErr.Kind
+			}
+			for _, j := range sub.Jobs {
+				o.jobs = append(o.jobs, j.ID)
+			}
+			results[g] = o
+		}(g)
+	}
+	close(start) // all submits in flight while the drain below races them
+	time.Sleep(2 * time.Millisecond)
+	drainErr := s.Drain(5 * time.Second)
+	wg.Wait()
+	ts.Close()
+	if drainErr != nil {
+		t.Fatalf("drain: %v", drainErr)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// The next process must recover every acked job as parked work.
+	s2 := newTestServer(t, dir, nil)
+	defer s2.Close()
+	acked := 0
+	for g, o := range results {
+		switch o.code {
+		case http.StatusOK:
+			acked++
+			for _, id := range o.jobs {
+				jid, ok := parseID(id, "j")
+				if !ok {
+					t.Fatalf("goroutine %d: malformed acked job id %q", g, id)
+				}
+				js, found := s2.q.jobStatus(jid)
+				if !found {
+					t.Fatalf("goroutine %d: acked job %s lost across drain+restart", g, id)
+				}
+				if js.State != StatePending {
+					t.Fatalf("goroutine %d: acked job %s recovered as %s, want pending", g, id, js.State)
+				}
+			}
+		case http.StatusServiceUnavailable:
+			if o.kind != ErrDraining {
+				t.Fatalf("goroutine %d: 503 with kind %q, want %q", g, o.kind, ErrDraining)
+			}
+		default:
+			t.Fatalf("goroutine %d: status %d (%s), want 200 or 503", g, o.code, o.kind)
+		}
+	}
+	t.Logf("drain race: %d/%d submits acked and parked, rest typed-503", acked, G)
+}
+
+// enospcFS wraps the host filesystem with a switchable disk-full condition:
+// while tripped, every file sync fails with ENOSPC (data may have landed;
+// the fsync is the lie detector). This models a disk filling up mid-serve
+// more directly than a probabilistic plan.
+type enospcFS struct {
+	vfs.FS
+	full atomic.Bool
+}
+
+func (e *enospcFS) Create(path string) (vfs.File, error) {
+	f, err := e.FS.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &enospcFile{File: f, fs: e}, nil
+}
+
+func (e *enospcFS) OpenAppend(path string) (vfs.File, error) {
+	f, err := e.FS.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &enospcFile{File: f, fs: e}, nil
+}
+
+type enospcFile struct {
+	vfs.File
+	fs *enospcFS
+}
+
+func (f *enospcFile) Sync() error {
+	if f.fs.full.Load() {
+		return syscall.ENOSPC
+	}
+	return f.File.Sync()
+}
+
+// TestENOSPCDegradation: disk-full flips admission to typed 507s with the
+// queue paused (never a false ack), and freeing space restores service via
+// the submit-time probe — no restart required.
+func TestENOSPCDegradation(t *testing.T) {
+	fs := &enospcFS{FS: vfs.OS{}}
+	s := newTestServer(t, t.TempDir(), func(c *Config) { c.FS = fs })
+	defer s.Close()
+	// Workers not started: this test is about admission, not execution.
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := runner.Spec{App: "gauss", Machine: "mp", Procs: 4, Size: 48}
+	var sub SubmitResponse
+
+	fs.full.Store(true)
+	code, apiErr := postJSON(t, ts, "/v1/batches", &SubmitRequest{Runs: []runner.Spec{spec}}, &sub)
+	if code != http.StatusInsufficientStorage || apiErr.Kind != ErrNoSpace {
+		t.Fatalf("submit on full disk: %d %+v, want 507 %s", code, apiErr, ErrNoSpace)
+	}
+	var st StatsResponse
+	if getJSON(t, ts, "/stats", &st); !st.StoragePaused || st.StorageErrs == 0 {
+		t.Fatalf("stats after ENOSPC: paused=%v errs=%d", st.StoragePaused, st.StorageErrs)
+	}
+	if st.Pending != 0 {
+		t.Fatalf("failed submit left %d pending jobs", st.Pending)
+	}
+	// Still paused: the probe keeps failing while the disk is full.
+	if code, apiErr = postJSON(t, ts, "/v1/batches", &SubmitRequest{Runs: []runner.Spec{spec}}, &sub); code != http.StatusInsufficientStorage {
+		t.Fatalf("second submit on full disk: %d %+v", code, apiErr)
+	}
+
+	fs.full.Store(false) // space freed
+	if code, apiErr = postJSON(t, ts, "/v1/batches", &SubmitRequest{Runs: []runner.Spec{spec}}, &sub); code != http.StatusOK {
+		t.Fatalf("submit after space freed: %d %+v, want 200", code, apiErr)
+	}
+	var st2 StatsResponse
+	if getJSON(t, ts, "/stats", &st2); st2.StoragePaused || st2.Pending != 1 {
+		t.Fatalf("stats after recovery: paused=%v pending=%d, want unpaused/1", st2.StoragePaused, st2.Pending)
 	}
 }

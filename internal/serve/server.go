@@ -12,12 +12,19 @@ import (
 	"time"
 
 	"repro/internal/runner"
+	"repro/internal/vfs"
 )
 
 // Config sizes one Server.
 type Config struct {
-	// Dir is the service's data directory: queue.wal, cache/, ckpt/.
+	// Dir is the service's data directory: wal/, cache/, ckpt/.
 	Dir string
+	// FS is the filesystem every durable artifact goes through. nil means
+	// the host filesystem; tests and the -fault-fsplan flag install a
+	// vfs.Faulty here.
+	FS vfs.FS
+	// WALSegmentBytes is the log rotation threshold (default 1 MiB).
+	WALSegmentBytes int64
 	// Jobs is the worker pool size (concurrent runs). Default 1.
 	Jobs int
 	// RunWorkers is the engine worker count inside each run (0 =
@@ -63,6 +70,13 @@ type Server struct {
 
 	retries, preemptions, panics atomic.Int64
 
+	// storagePaused flips on when a durable write fails with ENOSPC:
+	// admission returns typed 507s until a WAL probe succeeds, instead of
+	// acking submits the log cannot hold. storageErrs counts every durable
+	// write failure the degraded paths absorbed.
+	storagePaused atomic.Bool
+	storageErrs   atomic.Int64
+
 	// runJob is the attempt executor, swappable by tests to inject
 	// failures; the default is runner.Run.
 	runJob func(spec runner.Spec, opts runner.Options) (*runner.Outcome, error)
@@ -94,20 +108,22 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = 250 * time.Millisecond
 	}
+	if cfg.FS == nil {
+		cfg.FS = vfs.OS{}
+	}
+	if cfg.WALSegmentBytes <= 0 {
+		cfg.WALSegmentBytes = DefaultSegmentBytes
+	}
 
-	cache, err := OpenCache(filepath.Join(cfg.Dir, "cache"))
+	cache, err := OpenCache(cfg.FS, filepath.Join(cfg.Dir, "cache"))
 	if err != nil {
 		return nil, err
 	}
-	wal, recs, torn, err := OpenWAL(filepath.Join(cfg.Dir, walFileName))
+	wal, recs, rep, err := OpenWAL(cfg.FS, cfg.Dir, cfg.WALSegmentBytes)
 	if err != nil {
 		return nil, err
 	}
-	q, err := recoverQueue(wal, recs, cache)
-	if err != nil {
-		wal.Close()
-		return nil, err
-	}
+	q, compactErr := recoverQueue(wal, recs, cache)
 	s := &Server{
 		cfg:     cfg,
 		wal:     wal,
@@ -118,14 +134,43 @@ func New(cfg Config) (*Server, error) {
 		running: make(map[uint64]*runner.Interrupt),
 		runJob:  runner.Run,
 	}
-	if torn > 0 {
-		s.logf("wal: discarded %d-byte torn tail (crash mid-append)", torn)
+	if rep.TornBytes > 0 {
+		s.logf("wal: discarded %d-byte torn tail (crash mid-append)", rep.TornBytes)
+	}
+	if rep.Quarantined > 0 {
+		s.logf("wal: quarantined %d corrupt records (see *.quarantine)", rep.Quarantined)
+	}
+	if rep.Legacy {
+		s.logf("wal: migrated legacy single-file log into %d-segment model", wal.Segments())
+	}
+	if compactErr != nil {
+		// Uncompacted segments replay identically; serve degraded.
+		s.logf("wal: %v (continuing uncompacted)", compactErr)
+		s.noteStorage(compactErr)
 	}
 	if p, r, d, f := q.counts(); p+int(d)+int(f) > 0 {
 		s.logf("recovered %d pending, %d done, %d failed jobs (running at crash: requeued)", p, d, f)
 		_ = r
 	}
 	return s, nil
+}
+
+// noteStorage records a durable-write failure and, on ENOSPC, pauses
+// admission until a probe shows the disk breathing again.
+func (s *Server) noteStorage(err error) {
+	s.storageErrs.Add(1)
+	if vfs.IsNoSpace(err) {
+		if s.storagePaused.CompareAndSwap(false, true) {
+			s.logf("storage: out of space; pausing admission (%v)", err)
+		}
+	}
+}
+
+// storageOK clears the paused flag after a successful durable write.
+func (s *Server) storageOK() {
+	if s.storagePaused.CompareAndSwap(true, false) {
+		s.logf("storage: durable writes succeeding again; admission resumed")
+	}
 }
 
 // Start launches the worker pool.
@@ -215,6 +260,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, &APIError{Kind: ErrDraining, Message: "draining to checkpoints"})
 		return
 	}
+	if s.storagePaused.Load() {
+		// Probe before refusing: space may have been freed since the pause.
+		if err := s.wal.Probe(); err != nil {
+			writeErr(w, http.StatusInsufficientStorage, &APIError{
+				Kind: ErrNoSpace, Message: "queue paused: durable storage is out of space",
+			})
+			return
+		}
+		s.storageOK()
+	}
 	var req SubmitRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, &APIError{Kind: ErrBadBody, Message: err.Error()})
@@ -246,9 +301,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	batch, jobs, err := s.q.submit(req.Runs, time.Duration(req.DeadlineMS)*time.Millisecond)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, &APIError{Kind: "wal", Message: err.Error()})
+		// The WAL append failed, so nothing was acked and nothing is
+		// visible: the client must retry or give up, never assume acceptance.
+		s.noteStorage(err)
+		if vfs.IsNoSpace(err) {
+			writeErr(w, http.StatusInsufficientStorage, &APIError{Kind: ErrNoSpace, Message: err.Error()})
+		} else {
+			writeErr(w, http.StatusInternalServerError, &APIError{Kind: ErrStorage, Message: err.Error()})
+		}
 		return
 	}
+	s.storageOK()
 	resp := SubmitResponse{Batch: fmt.Sprintf("b%d", batch)}
 	for _, j := range jobs {
 		resp.Jobs = append(resp.Jobs, JobRef{
@@ -294,22 +357,31 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if hits+misses > 0 {
 		rate = float64(hits) / float64(hits+misses)
 	}
-	writeJSON(w, http.StatusOK, &StatsResponse{
-		Pending:     pending,
-		Running:     running,
-		Done:        done,
-		Failed:      failed,
-		Retries:     s.retries.Load(),
-		Preemptions: s.preemptions.Load(),
-		Panics:      s.panics.Load(),
-		CacheHits:   hits,
-		CacheMisses: misses,
-		HitRate:     rate,
-		QueueLimit:  s.cfg.MaxQueue,
-		Draining:    s.draining.Load(),
-		UptimeMS:    time.Since(s.start).Milliseconds(),
-		WALRecords:  s.wal.Records(),
-	})
+	resp := &StatsResponse{
+		Pending:          pending,
+		Running:          running,
+		Done:             done,
+		Failed:           failed,
+		Retries:          s.retries.Load(),
+		Preemptions:      s.preemptions.Load(),
+		Panics:           s.panics.Load(),
+		CacheHits:        hits,
+		CacheMisses:      misses,
+		HitRate:          rate,
+		QueueLimit:       s.cfg.MaxQueue,
+		Draining:         s.draining.Load(),
+		UptimeMS:         time.Since(s.start).Milliseconds(),
+		WALRecords:       s.wal.Records(),
+		WALSegments:      s.wal.Segments(),
+		WALQuarantined:   s.wal.Quarantined(),
+		CacheQuarantined: s.cache.Quarantined(),
+		StorageErrs:      s.storageErrs.Load(),
+		StoragePaused:    s.storagePaused.Load(),
+	}
+	if fc, ok := s.cfg.FS.(interface{ FaultCount() int64 }); ok {
+		resp.FSFaults = fc.FaultCount()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func parseID(s, prefix string) (uint64, bool) {

@@ -3,7 +3,6 @@ package serve
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"time"
@@ -11,6 +10,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/snapshot"
 	"repro/internal/stats"
+	"repro/internal/vfs"
 )
 
 // The supervisor is the worker pool between the queue and runner.Run, and
@@ -68,9 +68,10 @@ func (s *Server) worker() {
 func (s *Server) process(j *job) {
 	if res, err := s.cache.Get(j.key); res != nil {
 		if err := s.q.complete(j, res, true); err != nil {
-			s.logf("j%d: record cache hit: %v", j.id, err)
+			s.unrecorded(j, "cache hit", err)
 			return
 		}
+		s.storageOK()
 		s.logf("j%d %s/%s done (cache hit, fp %#x)", j.id, j.spec.App, j.spec.Machine, res.Fingerprint)
 		s.cleanCkpts(j)
 		return
@@ -107,8 +108,10 @@ func (s *Server) process(j *job) {
 			// Drain preemption: park the job with its checkpoint for the
 			// next process; doesn't count against the preemption budget.
 			if err := s.q.requeuePreempt(j, int64(out.PreemptedAt), out.PreemptPath, false); err != nil {
-				s.logf("j%d: record drain checkpoint: %v", j.id, err)
+				s.unrecorded(j, "drain checkpoint", err)
+				return
 			}
+			s.storageOK()
 			s.logf("j%d %s/%s drained to checkpoint at cycle %d", j.id, j.spec.App, j.spec.Machine, out.PreemptedAt)
 			return
 		}
@@ -119,23 +122,27 @@ func (s *Server) process(j *job) {
 			return
 		}
 		if err := s.q.requeuePreempt(j, int64(out.PreemptedAt), out.PreemptPath, true); err != nil {
-			s.logf("j%d: record preemption: %v", j.id, err)
+			s.unrecorded(j, "preemption", err)
 			return
 		}
+		s.storageOK()
 		s.logf("j%d %s/%s deadline-preempted at cycle %d, requeued to resume", j.id, j.spec.App, j.spec.Machine, out.PreemptedAt)
 
 	default:
 		res := buildResult(j.key, out)
 		if err := s.cache.Put(res); err != nil {
 			// The cache entry is the result's durable home; without it a
-			// done record would point at nothing. Treat as a host failure.
-			s.retry(j, "harness", fmt.Errorf("serve: store result: %w", err))
+			// done record would point at nothing. Park the job and let the
+			// next attempt (or the cache fast path, if the entry actually
+			// landed) finish the transition once the disk recovers.
+			s.unrecorded(j, "store result", err)
 			return
 		}
 		if err := s.q.complete(j, res, false); err != nil {
-			s.logf("j%d: record completion: %v", j.id, err)
+			s.unrecorded(j, "completion", err)
 			return
 		}
+		s.storageOK()
 		status := fmt.Sprintf("fp %#x", res.Fingerprint)
 		if res.Err != "" {
 			status = "aborted: " + res.Err
@@ -143,6 +150,16 @@ func (s *Server) process(j *job) {
 		s.logf("j%d %s/%s done (%s, %d ms)", j.id, j.spec.App, j.spec.Machine, status, wallMS)
 		s.cleanCkpts(j)
 	}
+}
+
+// unrecorded handles a job whose durable state transition could not be
+// written: the job returns to pending (with backoff) so the transition is
+// retried once the disk recovers, instead of wedging in "running" forever.
+// Nothing was acked, so recovery semantics are identical to a crash here.
+func (s *Server) unrecorded(j *job, what string, err error) {
+	s.noteStorage(err)
+	s.q.unclaim(j, s.cfg.Backoff)
+	s.logf("j%d: record %s: %v (unclaimed, will retry transition)", j.id, what, err)
 }
 
 // attempt executes one supervised try of j: panic-isolated, deadline-armed,
@@ -155,7 +172,7 @@ func (s *Server) attempt(j *job) (out *runner.Outcome, err error) {
 	}()
 
 	ckdir := s.ckptDir(j)
-	if err := os.MkdirAll(ckdir, 0o755); err != nil {
+	if err := s.cfg.FS.MkdirAll(ckdir, 0o755); err != nil {
 		return nil, err
 	}
 	intr := &runner.Interrupt{}
@@ -173,15 +190,26 @@ func (s *Server) attempt(j *job) (out *runner.Outcome, err error) {
 		Workers:       s.cfg.RunWorkers,
 		CheckpointDir: ckdir,
 		Interrupt:     intr,
+		FS:            s.cfg.FS,
 	}
 	if j.resumePath != "" {
-		if snap, rerr := snapshot.ReadFile(j.resumePath); rerr == nil {
+		snap, rerr := readSnapshot(s.cfg.FS, j.resumePath)
+		if rerr == nil {
 			opts.Resume = snap
 		} else {
 			s.logf("j%d: resume checkpoint unreadable (%v), restarting from scratch", j.id, rerr)
 		}
 	}
 	return s.runJob(j.spec, opts)
+}
+
+// readSnapshot reads and decodes a checkpoint through the configured FS.
+func readSnapshot(fsys vfs.FS, path string) (*snapshot.Snapshot, error) {
+	b, err := fsys.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return snapshot.Decode(b)
 }
 
 // retry applies the bounded-retry policy to a host-level failure.
@@ -194,18 +222,20 @@ func (s *Server) retry(j *job, kind string, cause error) {
 	s.retries.Add(1)
 	// A divergence's checkpoint is permanently unverifiable; drop it.
 	if err := s.q.requeueRetry(j, backoff, kind == "divergence"); err != nil {
-		s.logf("j%d: record retry: %v", j.id, err)
+		s.unrecorded(j, "retry", err)
 		return
 	}
+	s.storageOK()
 	s.logf("j%d %s/%s attempt %d failed (%s: %v), retrying in %v",
 		j.id, j.spec.App, j.spec.Machine, j.attempts, kind, cause, backoff)
 }
 
 func (s *Server) failTerminal(j *job, kind string, cause error) {
 	if err := s.q.fail(j, kind, cause.Error()); err != nil {
-		s.logf("j%d: record terminal failure: %v", j.id, err)
+		s.unrecorded(j, "terminal failure", err)
 		return
 	}
+	s.storageOK()
 	s.logf("j%d %s/%s FAILED terminally (%s): %v", j.id, j.spec.App, j.spec.Machine, kind, cause)
 	s.cleanCkpts(j)
 }
@@ -217,7 +247,7 @@ func (s *Server) ckptDir(j *job) string {
 // cleanCkpts removes a finished job's checkpoint directory (best effort —
 // the WAL no longer references it).
 func (s *Server) cleanCkpts(j *job) {
-	os.RemoveAll(s.ckptDir(j))
+	s.cfg.FS.RemoveAll(s.ckptDir(j))
 }
 
 func (s *Server) deadlineFor(j *job) time.Duration {

@@ -2,10 +2,13 @@ package serve
 
 import (
 	"fmt"
-	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/snapshot"
+	"repro/internal/vfs"
 )
 
 // The write-ahead log is the queue's durability layer. Every state change a
@@ -16,15 +19,33 @@ import (
 // was mid-run when the process died simply reruns — results are
 // deterministic and the cache makes re-completion idempotent).
 //
-// The format reuses the snapshot package's canonical encoder: a fixed
-// header, then self-checksummed records. A torn tail — the one corruption a
-// kill -9 can produce, since records are synced in order — is detected by
-// its checksum and truncated away on open.
+// The log is segmented: records append to wal/wal.000001, wal/wal.000002, …
+// with a rotation threshold, so compaction never rewrites unbounded history
+// in place. Each segment is independently recoverable: a fixed header, then
+// self-checksummed records. A torn tail on the live (last) segment — the
+// one corruption a kill -9 can produce, since records are synced in order —
+// is truncated away on open. A corrupt record anywhere else (bit rot, a
+// torn tail on a non-live segment, a failed fsync whose partial bytes
+// landed) is quarantined to a <segment>.quarantine file and skipped, so
+// good records after it are never silently discarded. Compaction
+// (recovery's Compact) writes the minimal live record set into a fresh
+// segment and deletes every fully-compacted predecessor.
+//
+// The single-file model from the pre-rotation service (queue.wal in the
+// data directory root) is read as a phantom segment ordered before all
+// numbered segments and deleted by the first compaction.
 
 const (
-	walMagic           = "WWTWAL\x00"
-	walVersion  uint32 = 1
-	walFileName        = "queue.wal"
+	walMagic            = "WWTWAL\x00"
+	walVersion   uint32 = 1
+	walDirName          = "wal"
+	walSegPrefix        = "wal."
+	legacyWAL           = "queue.wal" // pre-rotation single-file log
+
+	// DefaultSegmentBytes is the rotation threshold when Config leaves it
+	// unset: big enough that short sweeps stay in one segment, small enough
+	// that long ones never rewrite unbounded history on recovery.
+	DefaultSegmentBytes = 1 << 20
 )
 
 type recType uint8
@@ -135,93 +156,340 @@ func encodeRecord(r *Record) []byte {
 	return e.Bytes()
 }
 
-// WAL is an append-only, fsynced record log.
-type WAL struct {
-	mu      sync.Mutex
-	f       *os.File
-	path    string
-	records int64
+func segHeader() []byte {
+	var e snapshot.Enc
+	e.U32(walVersion)
+	return append([]byte(walMagic), e.Bytes()...)
 }
 
-// OpenWAL opens (or creates) the log at path, replays every intact record,
-// and truncates away a torn tail. It returns the replayed records in append
-// order; tornBytes reports how much of a torn tail was discarded (0 for a
-// clean log).
-func OpenWAL(path string) (w *WAL, recs []Record, tornBytes int, err error) {
-	b, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
-		return nil, nil, 0, err
+// RecoveryReport summarizes what OpenWAL found and repaired.
+type RecoveryReport struct {
+	Segments    int  // segment files scanned (excluding the legacy file)
+	TornBytes   int  // bytes truncated off the live segment's tail
+	Quarantined int  // corrupt records/regions moved to *.quarantine files
+	Legacy      bool // a pre-rotation queue.wal was read (deleted on Compact)
+}
+
+// WAL is an append-only, fsynced, segment-rotated record log.
+type WAL struct {
+	mu       sync.Mutex
+	fs       vfs.FS
+	dir      string // data dir; segments live in dir/wal
+	segBytes int64  // rotation threshold
+	seg      int    // current (live) segment index
+	f        vfs.File
+	segLen   int64 // known-durable byte length of the live segment
+	broken   bool  // last write/sync failed; reset before the next append
+
+	records     int64
+	segCount    int
+	quarantined int64
+}
+
+func (w *WAL) walDir() string { return filepath.Join(w.dir, walDirName) }
+
+func (w *WAL) segPath(i int) string {
+	return filepath.Join(w.walDir(), fmt.Sprintf("%s%06d", walSegPrefix, i))
+}
+
+// parseSegName returns the index of a wal.NNNNNN segment file name, or -1.
+func parseSegName(name string) int {
+	if !strings.HasPrefix(name, walSegPrefix) || len(name) != len(walSegPrefix)+6 {
+		return -1
+	}
+	n, err := strconv.Atoi(name[len(walSegPrefix):])
+	if err != nil || n <= 0 {
+		return -1
+	}
+	return n
+}
+
+// scanSegment replays one segment image. Corrupt records with intact
+// framing are reported as quarantine ranges and skipped; a tail whose
+// framing runs off the end is reported in torn (offset where it starts).
+// goodLen is the end of the last fully-framed record.
+func scanSegment(b []byte) (recs []Record, goodLen int, quarantine [][2]int, torn bool, err error) {
+	hdr := len(segHeader())
+	if len(b) < hdr || string(b[:len(walMagic)]) != walMagic {
+		return nil, 0, nil, false, fmt.Errorf("wal: bad segment magic")
+	}
+	hd := snapshot.NewDec(b[len(walMagic):])
+	if v := hd.U32(); v != walVersion {
+		return nil, 0, nil, false, fmt.Errorf("wal: segment format version %d (this build reads %d)", v, walVersion)
+	}
+	body := b[hdr:]
+	d := snapshot.NewDec(body)
+	off := hdr
+	for d.Remaining() > 0 {
+		t := d.U8()
+		payload := d.Blob()
+		sum := d.U64()
+		if d.Err != nil {
+			// Framing ran off the end: a torn tail.
+			return recs, off, quarantine, true, nil
+		}
+		end := hdr + (len(body) - d.Remaining())
+		var ck snapshot.Enc
+		ck.U8(t)
+		ck.Blob(payload)
+		rec, derr := decodeRecord(recType(t), payload)
+		if snapshot.Hash(ck.Bytes()) != sum || derr != nil {
+			// The frame is intact but the contents are rotten: quarantine
+			// this record and keep scanning — good records after it must
+			// not be discarded.
+			quarantine = append(quarantine, [2]int{off, end})
+		} else {
+			recs = append(recs, rec)
+		}
+		off = end
+	}
+	return recs, off, quarantine, false, nil
+}
+
+// OpenWAL opens (or creates) the segmented log under dir/wal, replays every
+// intact record across all segments in order (including a legacy
+// single-file queue.wal, ordered first), quarantines corrupt records, and
+// truncates a torn tail off the live segment. It returns the replayed
+// records in append order plus a report of repairs.
+func OpenWAL(fsys vfs.FS, dir string, segBytes int64) (w *WAL, recs []Record, rep RecoveryReport, err error) {
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	w = &WAL{fs: fsys, dir: dir, segBytes: segBytes}
+	if err := fsys.MkdirAll(w.walDir(), 0o755); err != nil {
+		return nil, nil, rep, err
 	}
 
-	goodLen := len(walMagic) + 4
-	if len(b) == 0 {
-		var e snapshot.Enc
-		e.U32(walVersion)
-		if err := os.WriteFile(path, append([]byte(walMagic), e.Bytes()...), 0o644); err != nil {
-			return nil, nil, 0, err
+	// The legacy single-file log replays before every numbered segment.
+	legacy := filepath.Join(dir, legacyWAL)
+	if b, rerr := fsys.ReadFile(legacy); rerr == nil {
+		rep.Legacy = true
+		lr, goodLen, quarantine, torn, serr := scanSegment(b)
+		if serr != nil {
+			return nil, nil, rep, fmt.Errorf("wal: %s: %w", legacy, serr)
+		}
+		if torn {
+			// Not the live segment: nothing appends here again, so the torn
+			// tail is quarantined rather than truncated.
+			quarantine = append(quarantine, [2]int{goodLen, len(b)})
+		}
+		rep.Quarantined += w.quarantineRanges(legacy, b, quarantine)
+		recs = append(recs, lr...)
+	} else if !vfs.IsNotExist(rerr) {
+		return nil, nil, rep, rerr
+	}
+
+	names, err := fsys.ReadDir(w.walDir())
+	if err != nil {
+		return nil, nil, rep, err
+	}
+	var segs []int
+	for _, name := range names {
+		if n := parseSegName(name); n > 0 {
+			segs = append(segs, n)
+		}
+	}
+
+	// A crash during segment creation (rotation or compaction) can leave a
+	// trailing segment holding only a partial header. It contains no records
+	// by construction — the header is synced before any record is written —
+	// so drop it rather than mistaking it for a foreign file.
+	for len(segs) > 0 {
+		n := segs[len(segs)-1]
+		b, rerr := fsys.ReadFile(w.segPath(n))
+		if rerr != nil {
+			return nil, nil, rep, rerr
+		}
+		hdr := segHeader()
+		if len(b) < len(hdr) && string(b) == string(hdr[:len(b)]) {
+			if rerr := fsys.Remove(w.segPath(n)); rerr != nil {
+				return nil, nil, rep, rerr
+			}
+			segs = segs[:len(segs)-1]
+			continue
+		}
+		break
+	}
+
+	for i, n := range segs {
+		path := w.segPath(n)
+		b, rerr := fsys.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, rep, rerr
+		}
+		sr, goodLen, quarantine, torn, serr := scanSegment(b)
+		if serr != nil {
+			return nil, nil, rep, fmt.Errorf("wal: %s: %w", path, serr)
+		}
+		live := i == len(segs)-1
+		if torn {
+			if live {
+				// A kill -9 mid-append on the live segment: truncate the
+				// torn bytes so appends continue from a clean tail.
+				if terr := fsys.Truncate(path, int64(goodLen)); terr != nil {
+					return nil, nil, rep, terr
+				}
+				rep.TornBytes += len(b) - goodLen
+				b = b[:goodLen]
+			} else {
+				quarantine = append(quarantine, [2]int{goodLen, len(b)})
+			}
+		}
+		rep.Quarantined += w.quarantineRanges(path, b, quarantine)
+		recs = append(recs, sr...)
+		if live {
+			w.seg = n
+			w.segLen = int64(goodLen)
+		}
+	}
+	rep.Segments = len(segs)
+	w.segCount = len(segs)
+
+	if len(segs) == 0 {
+		if err := w.createSegment(1); err != nil {
+			return nil, nil, rep, err
 		}
 	} else {
-		if len(b) < goodLen || string(b[:len(walMagic)]) != walMagic {
-			return nil, nil, 0, fmt.Errorf("wal: %s is not a queue log (bad magic)", path)
+		f, oerr := fsys.OpenAppend(w.segPath(w.seg))
+		if oerr != nil {
+			return nil, nil, rep, oerr
 		}
-		hd := snapshot.NewDec(b[len(walMagic):])
-		if v := hd.U32(); v != walVersion {
-			return nil, nil, 0, fmt.Errorf("wal: %s: format version %d (this build reads %d)", path, v, walVersion)
-		}
-		body := b[goodLen:]
-		d := snapshot.NewDec(body)
-		for d.Remaining() > 0 {
-			t := d.U8()
-			payload := d.Blob()
-			sum := d.U64()
-			if d.Err != nil {
-				break // torn tail: record cut mid-field
-			}
-			var ck snapshot.Enc
-			ck.U8(t)
-			ck.Blob(payload)
-			if snapshot.Hash(ck.Bytes()) != sum {
-				break // torn tail: record framed but contents incomplete
-			}
-			rec, derr := decodeRecord(recType(t), payload)
-			if derr != nil {
-				break
-			}
-			recs = append(recs, rec)
-			goodLen = len(walMagic) + 4 + (len(body) - d.Remaining())
-		}
-		tornBytes = len(b) - goodLen
-		if tornBytes > 0 {
-			if err := os.Truncate(path, int64(goodLen)); err != nil {
-				return nil, nil, tornBytes, err
-			}
-		}
+		w.f = f
 	}
-
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, nil, tornBytes, err
-	}
-	return &WAL{f: f, path: path, records: int64(len(recs))}, recs, tornBytes, nil
+	w.records = int64(len(recs))
+	w.quarantined = int64(rep.Quarantined)
+	return w, recs, rep, nil
 }
 
-// Append durably writes recs as one unit: all records hit the file in order
-// and a single fsync covers them. On return the records survive kill -9.
+// quarantineRanges copies corrupt byte ranges of a segment to a sibling
+// .quarantine file (evidence for the operator, out of the replay path) and
+// returns how many ranges there were. Best-effort: quarantine must never
+// turn a readable log into an open error.
+func (w *WAL) quarantineRanges(path string, b []byte, ranges [][2]int) int {
+	if len(ranges) == 0 {
+		return 0
+	}
+	var blob []byte
+	for _, r := range ranges {
+		if r[0] < r[1] && r[1] <= len(b) {
+			blob = append(blob, b[r[0]:r[1]]...)
+		}
+	}
+	w.fs.WriteFile(path+".quarantine", blob, 0o644)
+	return len(ranges)
+}
+
+// createSegment makes segment i the live segment: header written and
+// synced, directory synced so the file itself survives a crash, handle kept
+// open for appends.
+func (w *WAL) createSegment(i int) error {
+	path := w.segPath(i)
+	f, err := w.fs.Create(path)
+	if err != nil {
+		return err
+	}
+	hdr := segHeader()
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.fs.SyncDir(w.walDir()); err != nil {
+		f.Close()
+		return err
+	}
+	if w.f != nil {
+		w.f.Close()
+	}
+	w.f = f
+	w.seg = i
+	w.segLen = int64(len(hdr))
+	w.segCount++
+	w.broken = false
+	return nil
+}
+
+// reset drops any bytes past the known-durable length of the live segment —
+// the repair path after a failed or torn append, so a half-written record
+// never precedes a good one on disk.
+func (w *WAL) reset() error {
+	if err := w.fs.Truncate(w.segPath(w.seg), w.segLen); err != nil {
+		return err
+	}
+	w.broken = false
+	return nil
+}
+
+// Append durably writes recs as one unit: all records hit the live segment
+// in order and a single fsync covers them. On return the records survive
+// kill -9. On error nothing is considered durable: the segment is repaired
+// (truncated back, or abandoned for a fresh one) before the next append.
 func (w *WAL) Append(recs ...Record) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.broken {
+		if err := w.reset(); err != nil {
+			// Cannot repair in place (the truncate itself failed): abandon
+			// the segment; its garbage tail is checksummed away on recovery.
+			if cerr := w.createSegment(w.seg + 1); cerr != nil {
+				return cerr
+			}
+		}
+	}
+	if w.segLen >= w.segBytes {
+		if err := w.rotate(); err != nil {
+			// Rotation failure degrades to appending past the threshold on
+			// the current segment rather than losing the record.
+			if w.broken {
+				return err
+			}
+		}
+	}
 	var buf []byte
 	for i := range recs {
 		buf = append(buf, encodeRecord(&recs[i])...)
 	}
 	if _, err := w.f.Write(buf); err != nil {
+		w.broken = true
 		return err
 	}
 	if err := w.f.Sync(); err != nil {
+		w.broken = true
 		return err
 	}
+	w.segLen += int64(len(buf))
 	w.records += int64(len(recs))
 	return nil
+}
+
+// rotate seals the live segment and opens the next one. The new segment is
+// durable (file and directory synced) before the old handle is released, so
+// a crash between the two leaves both readable.
+func (w *WAL) rotate() error {
+	if w.f != nil {
+		if err := w.f.Sync(); err != nil {
+			w.broken = true
+			return err
+		}
+	}
+	return w.createSegment(w.seg + 1)
+}
+
+// Probe checks whether durable writes work again — the admission-unpause
+// test after an ENOSPC. It repairs a broken tail if needed and fsyncs the
+// live segment without adding records.
+func (w *WAL) Probe() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken {
+		if err := w.reset(); err != nil {
+			return err
+		}
+	}
+	return w.f.Sync()
 }
 
 // Records returns the number of records written to or replayed from the
@@ -232,30 +500,64 @@ func (w *WAL) Records() int64 {
 	return w.records
 }
 
-// Rewrite atomically replaces the log's contents with recs — compaction
-// after recovery collapses a long history (attempt records, superseded
-// checkpoints) into the minimal state a future recovery needs.
-func (w *WAL) Rewrite(recs []Record) error {
+// Segments returns the number of live segment files.
+func (w *WAL) Segments() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	var e snapshot.Enc
-	buf := append([]byte(nil), walMagic...)
-	e.U32(walVersion)
-	buf = append(buf, e.Bytes()...)
+	return w.segCount
+}
+
+// Quarantined returns the number of corrupt records quarantined at open.
+func (w *WAL) Quarantined() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.quarantined
+}
+
+// Compact writes recs — the minimal state a future recovery needs — into a
+// fresh segment and deletes every fully-compacted predecessor (and the
+// legacy single-file log). The new segment is durable before anything is
+// deleted, so a crash at any point leaves a replayable set: old segments
+// plus a partial new one replay to the same job table, because a compacted
+// segment's records supersede record-for-record what the old ones held.
+func (w *WAL) Compact(recs []Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	oldSeg := w.seg
+	oldLen := w.segLen
+	oldCount := w.segCount
+	if err := w.createSegment(oldSeg + 1); err != nil {
+		// The live segment is untouched; keep appending to it.
+		w.seg, w.segLen, w.segCount = oldSeg, oldLen, oldCount
+		return err
+	}
+	w.segCount = 1 // predecessors are deleted below
+	var buf []byte
 	for i := range recs {
 		buf = append(buf, encodeRecord(&recs[i])...)
 	}
-	if err := snapshot.AtomicWriteFile(w.path, buf); err != nil {
-		return err
+	if len(buf) > 0 {
+		if _, err := w.f.Write(buf); err != nil {
+			w.broken = true
+			return err
+		}
+		if err := w.f.Sync(); err != nil {
+			w.broken = true
+			return err
+		}
+		w.segLen += int64(len(buf))
 	}
-	f, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
-	}
-	w.f.Close()
-	w.f = f
 	w.records = int64(len(recs))
-	return w.f.Sync()
+
+	// The compacted image is durable; everything older is now dead weight.
+	for i := 1; i <= oldSeg; i++ {
+		w.fs.Remove(w.segPath(i))
+		w.fs.Remove(w.segPath(i) + ".quarantine")
+	}
+	w.fs.Remove(filepath.Join(w.dir, legacyWAL))
+	w.fs.Remove(filepath.Join(w.dir, legacyWAL) + ".quarantine")
+	w.fs.SyncDir(w.walDir())
+	return nil
 }
 
 // Close syncs and closes the log.

@@ -4,7 +4,10 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
+
+	"repro/internal/vfs"
 )
 
 func sampleRecords() []Record {
@@ -18,15 +21,46 @@ func sampleRecords() []Record {
 	}
 }
 
+func openWAL(t *testing.T, dir string, segBytes int64) (*WAL, []Record, RecoveryReport) {
+	t.Helper()
+	w, recs, rep, err := OpenWAL(vfs.OS{}, dir, segBytes)
+	if err != nil {
+		t.Fatalf("open %s: %v", dir, err)
+	}
+	return w, recs, rep
+}
+
+// liveSegPath returns the path of the single live segment of a fresh log.
+func liveSegPath(t *testing.T, dir string) string {
+	t.Helper()
+	names := segNames(t, dir)
+	if len(names) != 1 {
+		t.Fatalf("expected exactly one segment, found %v", names)
+	}
+	return filepath.Join(dir, walDirName, names[0])
+}
+
+func segNames(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := vfs.OS{}.ReadDir(filepath.Join(dir, walDirName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, n := range names {
+		if parseSegName(n) > 0 {
+			segs = append(segs, n)
+		}
+	}
+	return segs
+}
+
 // TestWALRoundTrip: append every record type, reopen, get them back intact.
 func TestWALRoundTrip(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "queue.wal")
-	w, recs, torn, err := OpenWAL(path)
-	if err != nil {
-		t.Fatalf("open fresh: %v", err)
-	}
-	if len(recs) != 0 || torn != 0 {
-		t.Fatalf("fresh log replayed %d records, torn %d", len(recs), torn)
+	dir := t.TempDir()
+	w, recs, rep := openWAL(t, dir, 0)
+	if len(recs) != 0 || rep.TornBytes != 0 || rep.Quarantined != 0 {
+		t.Fatalf("fresh log replayed %d records, report %+v", len(recs), rep)
 	}
 	want := sampleRecords()
 	if err := w.Append(want...); err != nil {
@@ -36,13 +70,10 @@ func TestWALRoundTrip(t *testing.T) {
 		t.Fatalf("close: %v", err)
 	}
 
-	w2, got, torn, err := OpenWAL(path)
-	if err != nil {
-		t.Fatalf("reopen: %v", err)
-	}
+	w2, got, rep := openWAL(t, dir, 0)
 	defer w2.Close()
-	if torn != 0 {
-		t.Fatalf("clean log reported %d torn bytes", torn)
+	if rep.TornBytes != 0 || rep.Quarantined != 0 {
+		t.Fatalf("clean log reported repairs: %+v", rep)
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("replay mismatch:\n got %+v\nwant %+v", got, want)
@@ -52,39 +83,33 @@ func TestWALRoundTrip(t *testing.T) {
 	}
 }
 
-// TestWALTornTail: a log cut mid-record (kill -9 during append) replays
-// every complete record, truncates the tail, and accepts new appends.
+// TestWALTornTail: a live segment cut mid-record (kill -9 during append)
+// replays every complete record, truncates the tail, and accepts appends.
 func TestWALTornTail(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "queue.wal")
-	w, _, _, err := OpenWAL(path)
-	if err != nil {
-		t.Fatalf("open: %v", err)
-	}
+	dir := t.TempDir()
+	w, _, _ := openWAL(t, dir, 0)
 	want := sampleRecords()
 	if err := w.Append(want...); err != nil {
 		t.Fatalf("append: %v", err)
 	}
 	w.Close()
-
-	full, err := os.ReadFile(path)
+	seg := liveSegPath(t, dir)
+	full, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Cut the file at every possible torn point inside the final record and
-	// check recovery each time.
+	// Cut the segment at every possible torn point inside the final record
+	// and check recovery each time.
 	lastLen := len(encodeRecord(&want[len(want)-1]))
 	for cut := len(full) - 1; cut > len(full)-lastLen; cut-- {
-		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+		if err := os.WriteFile(seg, full[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		w, got, torn, err := OpenWAL(path)
-		if err != nil {
-			t.Fatalf("cut %d: open: %v", cut, err)
-		}
+		w, got, rep := openWAL(t, dir, 0)
 		if len(got) != len(want)-1 {
 			t.Fatalf("cut %d: replayed %d records, want %d", cut, len(got), len(want)-1)
 		}
-		if torn == 0 {
+		if rep.TornBytes == 0 {
 			t.Fatalf("cut %d: reported clean despite torn tail", cut)
 		}
 		// The log must be appendable again after truncation.
@@ -92,40 +117,109 @@ func TestWALTornTail(t *testing.T) {
 			t.Fatalf("cut %d: append after truncate: %v", cut, err)
 		}
 		w.Close()
-		_, got2, _, err := OpenWAL(path)
-		if err != nil {
-			t.Fatalf("cut %d: reopen: %v", cut, err)
-		}
+		_, got2, _ := openWAL(t, dir, 0)
 		if !reflect.DeepEqual(got2, want) {
 			t.Fatalf("cut %d: after repair+append got %d records, want %d", cut, len(got2), len(want))
 		}
 	}
 }
 
-// TestWALRewrite: compaction replaces contents atomically and the log stays
-// appendable.
-func TestWALRewrite(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "queue.wal")
-	w, _, _, err := OpenWAL(path)
-	if err != nil {
+// TestWALQuarantinesCorruptRecord: a bit-rotted record in the middle of a
+// segment is quarantined and skipped; records after it still replay. The
+// pre-rotation model would have truncated them away.
+func TestWALQuarantinesCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	w, _, _ := openWAL(t, dir, 0)
+	want := sampleRecords()
+	if err := w.Append(want...); err != nil {
 		t.Fatal(err)
-	}
-	all := sampleRecords()
-	if err := w.Append(all...); err != nil {
-		t.Fatal(err)
-	}
-	compact := all[3:] // keep just the terminal records
-	if err := w.Rewrite(compact); err != nil {
-		t.Fatalf("rewrite: %v", err)
-	}
-	if err := w.Append(Record{Type: recAttempt, Job: 9, Attempts: 1}); err != nil {
-		t.Fatalf("append after rewrite: %v", err)
 	}
 	w.Close()
-	_, got, _, err := OpenWAL(path)
+	seg := liveSegPath(t, dir)
+	full, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Flip one byte inside the SECOND record's payload (past its type byte
+	// and length prefix, so the framing stays intact).
+	off := len(segHeader()) + len(encodeRecord(&want[0])) + 6
+	full[off] ^= 0x40
+	if err := os.WriteFile(seg, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, got, rep := openWAL(t, dir, 0)
+	if rep.Quarantined != 1 {
+		t.Fatalf("quarantined %d records, want 1", rep.Quarantined)
+	}
+	expect := append(append([]Record{}, want[0]), want[2:]...)
+	if !reflect.DeepEqual(got, expect) {
+		t.Fatalf("replay after corruption:\n got %+v\nwant %+v", got, expect)
+	}
+	if _, err := os.Stat(seg + ".quarantine"); err != nil {
+		t.Fatalf("no quarantine file: %v", err)
+	}
+}
+
+// TestWALRotation: appends past the threshold rotate into new segments, and
+// a reopen replays across all of them in order.
+func TestWALRotation(t *testing.T) {
+	dir := t.TempDir()
+	w, _, _ := openWAL(t, dir, 200) // tiny threshold to force rotations
+	var want []Record
+	for i := uint64(1); i <= 20; i++ {
+		r := Record{Type: recSubmit, Job: i, Batch: 1, Index: int(i), Key: i,
+			Spec: []byte(`{"app":"gauss","machine":"mp","procs":4}`)}
+		if err := w.Append(r); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		want = append(want, r)
+	}
+	if w.Segments() < 3 {
+		t.Fatalf("only %d segments after 20 appends at a 200-byte threshold", w.Segments())
+	}
+	w.Close()
+
+	w2, got, rep := openWAL(t, dir, 200)
+	defer w2.Close()
+	if rep.TornBytes != 0 || rep.Quarantined != 0 {
+		t.Fatalf("rotated log reported repairs: %+v", rep)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay across segments: got %d records, want %d", len(got), len(want))
+	}
+}
+
+// TestWALCompactDeletesSegments: compaction collapses a multi-segment log
+// into one fresh segment, deletes the predecessors, and recovery afterwards
+// sees exactly the compacted set.
+func TestWALCompactDeletesSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, _, _ := openWAL(t, dir, 200)
+	all := sampleRecords()
+	for i := 0; i < 6; i++ {
+		if err := w.Append(all...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Segments() < 3 {
+		t.Fatalf("setup: only %d segments", w.Segments())
+	}
+	compact := all[3:] // keep just the terminal records
+	if err := w.Compact(compact); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if got := w.Segments(); got != 1 {
+		t.Fatalf("%d segments after compact, want 1", got)
+	}
+	if names := segNames(t, dir); len(names) != 1 {
+		t.Fatalf("segment files on disk after compact: %v", names)
+	}
+	if err := w.Append(Record{Type: recAttempt, Job: 9, Attempts: 1}); err != nil {
+		t.Fatalf("append after compact: %v", err)
+	}
+	w.Close()
+	_, got, _ := openWAL(t, dir, 200)
 	if len(got) != len(compact)+1 {
 		t.Fatalf("got %d records, want %d", len(got), len(compact)+1)
 	}
@@ -134,14 +228,133 @@ func TestWALRewrite(t *testing.T) {
 	}
 }
 
+// TestWALLegacyMigration: a pre-rotation single-file queue.wal replays
+// (ordered before any numbered segment) and is deleted by compaction.
+func TestWALLegacyMigration(t *testing.T) {
+	dir := t.TempDir()
+	want := sampleRecords()
+	blob := segHeader()
+	for i := range want {
+		blob = append(blob, encodeRecord(&want[i])...)
+	}
+	legacy := filepath.Join(dir, legacyWAL)
+	if err := os.WriteFile(legacy, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w, got, rep := openWAL(t, dir, 0)
+	if !rep.Legacy {
+		t.Fatal("legacy file not reported")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("legacy replay mismatch: got %d records, want %d", len(got), len(want))
+	}
+	if err := w.Compact(got); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(legacy); !os.IsNotExist(err) {
+		t.Fatalf("legacy file survived compaction (stat err %v)", err)
+	}
+	w.Close()
+	_, got2, rep2 := openWAL(t, dir, 0)
+	if rep2.Legacy {
+		t.Fatal("legacy still reported after migration")
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatal("records lost across migration")
+	}
+}
+
+// TestWALRotationRecoveryEquivalence is the acceptance criterion for the
+// segmented model: the same record stream recovered through ≥3 rotations
+// must produce the same job table as the legacy single-file model, and
+// compaction must leave one segment.
+func TestWALRotationRecoveryEquivalence(t *testing.T) {
+	spec := []byte(`{"app":"gauss","machine":"mp","procs":4}`)
+	var stream []Record
+	for i := uint64(1); i <= 12; i++ {
+		stream = append(stream, Record{Type: recSubmit, Job: i, Batch: 1, Index: int(i - 1), Key: i, Spec: spec})
+	}
+	for i := uint64(1); i <= 4; i++ { // some terminal states
+		stream = append(stream, Record{Type: recFail, Job: i, Attempts: 3, Kind: "panic", Err: "x"})
+	}
+	stream = append(stream, Record{Type: recAttempt, Job: 7, Attempts: 1})
+
+	recover := func(dir string, segBytes int64, legacy bool) map[uint64]string {
+		if legacy {
+			blob := segHeader()
+			for i := range stream {
+				blob = append(blob, encodeRecord(&stream[i])...)
+			}
+			if err := os.WriteFile(filepath.Join(dir, legacyWAL), blob, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w, recs, _, err := OpenWAL(vfs.OS{}, dir, segBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !legacy {
+			for i := range recs {
+				t.Fatalf("unexpected replay in fresh dir: %+v", recs[i])
+			}
+			for i := range stream {
+				if err := w.Append(stream[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if w.Segments() < 3 {
+				t.Fatalf("only %d rotations at segBytes=%d", w.Segments(), segBytes)
+			}
+			w.Close()
+			w, recs, _, err = OpenWAL(vfs.OS{}, dir, segBytes)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		cache, err := OpenCache(vfs.OS{}, filepath.Join(dir, "cache"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, cerr := recoverQueue(w, recs, cache)
+		if cerr != nil {
+			t.Fatalf("compaction: %v", cerr)
+		}
+		if got := w.Segments(); got != 1 {
+			t.Fatalf("%d segments after recovery compaction, want 1", got)
+		}
+		states := make(map[uint64]string)
+		for id, j := range q.jobs {
+			states[id] = j.state.String()
+		}
+		w.Close()
+		return states
+	}
+
+	single := recover(t.TempDir(), 0, true)
+	rotated := recover(t.TempDir(), 200, false)
+	if !reflect.DeepEqual(single, rotated) {
+		t.Fatalf("recovery divergence:\nsingle-file %v\nrotated     %v", single, rotated)
+	}
+	if len(rotated) != 12 {
+		t.Fatalf("recovered %d jobs, want 12", len(rotated))
+	}
+}
+
 // TestWALRejectsForeignFile: not-a-WAL inputs produce errors, not garbage
 // replays.
 func TestWALRejectsForeignFile(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "queue.wal")
-	if err := os.WriteFile(path, []byte("definitely not a wal"), 0o644); err != nil {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, walDirName), 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := OpenWAL(path); err == nil {
-		t.Fatal("opened a non-WAL file without error")
+	foreign := filepath.Join(dir, walDirName, walSegPrefix+"000001")
+	if err := os.WriteFile(foreign, []byte("definitely not a wal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := OpenWAL(vfs.OS{}, dir, 0); err == nil {
+		t.Fatal("opened a non-WAL segment without error")
+	} else if !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("unexpected error: %v", err)
 	}
 }

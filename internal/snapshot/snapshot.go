@@ -3,6 +3,9 @@ package snapshot
 import (
 	"fmt"
 	"os"
+	"path/filepath"
+
+	"repro/internal/vfs"
 )
 
 // Version is the current snapshot format version. Decoders reject any other
@@ -140,15 +143,41 @@ func Decode(b []byte) (*Snapshot, error) {
 // this repo (checkpoints, cached results, sweep results files) goes through
 // it.
 func AtomicWriteFile(path string, data []byte) error {
+	return AtomicWriteFileFS(vfs.OS{}, path, data)
+}
+
+// AtomicWriteFileFS is AtomicWriteFile over an explicit filesystem, the
+// form the serve layer uses to run its durability I/O under fault
+// injection. The sequence is the full crash-safe dance: write the temp
+// file, fsync it (so the rename never outlives the data), rename into
+// place, then fsync the parent directory (so the rename itself survives a
+// power-loss-style crash).
+func AtomicWriteFileFS(fsys vfs.FS, path string, data []byte) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := fsys.Create(tmp)
+	if err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	cleanup := func(err error) error {
+		f.Close()
+		fsys.Remove(tmp)
 		return err
 	}
-	return nil
+	if _, err := f.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
 }
 
 // WriteFile atomically writes the encoded snapshot to path, so a run killed
@@ -156,6 +185,11 @@ func AtomicWriteFile(path string, data []byte) error {
 // over.
 func WriteFile(path string, s *Snapshot) error {
 	return AtomicWriteFile(path, Encode(s))
+}
+
+// WriteFileFS is WriteFile over an explicit filesystem.
+func WriteFileFS(fsys vfs.FS, path string, s *Snapshot) error {
+	return AtomicWriteFileFS(fsys, path, Encode(s))
 }
 
 // ReadFile reads and decodes a snapshot file.

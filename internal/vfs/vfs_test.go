@@ -1,0 +1,221 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// script drives a fixed operation sequence against an FS, returning any
+// errors observed. The sequence is single-threaded and deterministic, so a
+// seeded Faulty sees identical operation indices every run.
+func script(t *testing.T, fsys FS, dir string) []string {
+	t.Helper()
+	var errs []string
+	note := func(err error) {
+		if err != nil {
+			errs = append(errs, err.Error())
+		}
+	}
+	note(fsys.MkdirAll(filepath.Join(dir, "d"), 0o755))
+	for i := 0; i < 6; i++ {
+		p := filepath.Join(dir, "d", "f"+string(rune('0'+i)))
+		f, err := fsys.Create(p)
+		if err != nil {
+			note(err)
+			continue
+		}
+		if _, err := f.Write([]byte("hello world, a payload long enough to tear")); err != nil {
+			note(err)
+		}
+		note(f.Sync())
+		f.Close()
+		note(fsys.Rename(p, p+".final"))
+		note(fsys.SyncDir(filepath.Join(dir, "d")))
+	}
+	_, err := fsys.ReadFile(filepath.Join(dir, "d", "f0.final"))
+	note(err)
+	return errs
+}
+
+// TestOSRoundTrip sanity-checks the passthrough implementation.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if errs := script(t, OS{}, dir); len(errs) != 0 {
+		t.Fatalf("clean host filesystem errored: %v", errs)
+	}
+	names, err := OS{}.ReadDir(filepath.Join(dir, "d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"f0.final", "f1.final", "f2.final", "f3.final", "f4.final", "f5.final"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("ReadDir: %v", names)
+	}
+	if _, err := (OS{}).ReadFile(filepath.Join(dir, "nope")); !IsNotExist(err) {
+		t.Fatalf("missing file: %v", err)
+	}
+}
+
+// TestParsePlan covers the -fault-fsplan grammar.
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("seed=7,torn=0.02,fsync=0.01,enospc=0.05,open=0.1,rename=0.2,crash=123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{Seed: 7, TornRate: 0.02, FsyncRate: 0.01, ENOSPCRate: 0.05, OpenRate: 0.1, RenameRate: 0.2, CrashAt: 123}
+	if p != want {
+		t.Fatalf("got %+v, want %+v", p, want)
+	}
+	if p, err := ParsePlan(""); err != nil || p.CrashAt != -1 {
+		t.Fatalf("empty plan: %+v / %v", p, err)
+	}
+	for _, bad := range []string{"torn=2", "torn=-0.1", "bogus=1", "torn", "crash=x"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+// TestFaultyDeterminism is the fault-plan acceptance criterion at the vfs
+// level: the same seed over the same operation sequence injects the same
+// faults (identical traces) and leaves identical bytes on disk.
+func TestFaultyDeterminism(t *testing.T) {
+	plan, err := ParsePlan("seed=42,torn=0.1,fsync=0.1,enospc=0.1,open=0.05,rename=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrub := func(dir string, lines []string) []string {
+		out := make([]string, len(lines))
+		for i, l := range lines {
+			out[i] = strings.ReplaceAll(l, dir, "$DIR")
+		}
+		return out
+	}
+	run := func() (trace []string, errs []string, files map[string]string) {
+		dir := t.TempDir()
+		f := NewFaulty(OS{}, plan)
+		errs = scrub(dir, script(t, f, dir))
+		files = map[string]string{}
+		names, _ := OS{}.ReadDir(filepath.Join(dir, "d"))
+		for _, n := range names {
+			b, err := os.ReadFile(filepath.Join(dir, "d", n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			files[n] = string(b)
+		}
+		return scrub(dir, f.Trace()), errs, files
+	}
+	t1, e1, f1 := run()
+	t2, e2, f2 := run()
+	if len(t1) == 0 {
+		t.Fatal("plan injected nothing; rates too low for the script")
+	}
+	if !reflect.DeepEqual(t1, t2) {
+		t.Fatalf("traces diverged:\n%v\n%v", t1, t2)
+	}
+	if !reflect.DeepEqual(e1, e2) {
+		t.Fatalf("observed errors diverged:\n%v\n%v", e1, e2)
+	}
+	if !reflect.DeepEqual(f1, f2) {
+		t.Fatalf("on-disk bytes diverged:\n%v\n%v", f1, f2)
+	}
+}
+
+// TestFaultyTornWrite: a torn write persists a strict prefix and reports a
+// typed fault.
+func TestFaultyTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS{}, Plan{Seed: 1, TornRate: 1, CrashAt: -1})
+	p := filepath.Join(dir, "x")
+	data := []byte("0123456789abcdef")
+	err := f.WriteFile(p, data, 0o644)
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.Kind != "torn" {
+		t.Fatalf("want torn FaultError, got %v", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatal("torn fault does not unwrap to ErrInjected")
+	}
+	b, rerr := os.ReadFile(p)
+	if rerr == nil && len(b) >= len(data) {
+		t.Fatalf("torn write persisted %d of %d bytes", len(b), len(data))
+	}
+}
+
+// TestFaultyENOSPC: injected ENOSPC unwraps to syscall.ENOSPC so callers'
+// IsNoSpace checks treat injected and real disk-full identically.
+func TestFaultyENOSPC(t *testing.T) {
+	f := NewFaulty(OS{}, Plan{Seed: 1, ENOSPCRate: 1, CrashAt: -1})
+	err := f.WriteFile(filepath.Join(t.TempDir(), "x"), []byte("data"), 0o644)
+	if !IsNoSpace(err) {
+		t.Fatalf("injected ENOSPC not detected by IsNoSpace: %v", err)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatal("does not unwrap to syscall.ENOSPC")
+	}
+}
+
+// TestFaultyCrashAt: operation N half-happens, every later operation
+// returns ErrCrashed, and nothing more reaches the disk.
+func TestFaultyCrashAt(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS{}, Plan{Seed: 3, CrashAt: 2})
+	if err := f.MkdirAll(filepath.Join(dir, "d"), 0o755); err != nil { // op 0
+		t.Fatal(err)
+	}
+	if err := f.WriteFile(filepath.Join(dir, "d", "a"), []byte("aa"), 0o644); err != nil { // op 1
+		t.Fatal(err)
+	}
+	err := f.WriteFile(filepath.Join(dir, "d", "b"), []byte("bb"), 0o644) // op 2: crash
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash point: %v", err)
+	}
+	if !f.Crashed() {
+		t.Fatal("Crashed() false after the crash point")
+	}
+	// Post-crash operations are dead and uncounted.
+	ops := f.OpCount()
+	if err := f.WriteFile(filepath.Join(dir, "d", "c"), []byte("cc"), 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if f.OpCount() != ops {
+		t.Fatal("post-crash operations were counted")
+	}
+	if _, err := os.ReadFile(filepath.Join(dir, "d", "c")); !IsNotExist(err) {
+		t.Fatal("post-crash write reached the disk")
+	}
+	if b, err := os.ReadFile(filepath.Join(dir, "d", "a")); err != nil || string(b) != "aa" {
+		t.Fatalf("pre-crash write lost: %q / %v", b, err)
+	}
+}
+
+// TestFaultyFileHandles: faults reach handle writes and syncs; Close always
+// succeeds so crashed workloads can release descriptors.
+func TestFaultyFileHandles(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaulty(OS{}, Plan{Seed: 9, FsyncRate: 1, CrashAt: -1})
+	h, err := f.Create(filepath.Join(dir, "x")) // create op draws no fsync
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	serr := h.Sync()
+	var fe *FaultError
+	if !errors.As(serr, &fe) || fe.Kind != "fsync" {
+		t.Fatalf("want fsync FaultError, got %v", serr)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatalf("Close must never be faulted: %v", err)
+	}
+	if f.FaultCount() == 0 {
+		t.Fatal("fault counter did not move")
+	}
+}

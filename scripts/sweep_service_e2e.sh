@@ -6,6 +6,14 @@
 # resubmission must be served entirely from the result cache.
 #
 # Usage: scripts/sweep_service_e2e.sh [workdir]
+#
+# Set WWTSERVED_FSPLAN to fault rates (e.g. "enospc=0.03,fsync=0.03") to run
+# the daemon over the seeded fault-injecting filesystem: the same invariants
+# must hold while fsyncs fail and the disk reports full — the client rides
+# out 507/500 refusals exactly like an outage. The script supplies the seed
+# (WWTSERVED_FSSEED, default 7), advancing it each time a startup draws a
+# fault fatal enough to kill the daemon — an operator restarting until the
+# disk behaves. Set WWTSERVED_SEGBYTES to force WAL rotation mid-sweep.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -43,11 +51,25 @@ echo "== local baseline sweep"
 "$work/wwtsweep" -matrix "$work/matrix.json" -jobs 2 -quiet -out "$work/local.json"
 
 start_daemon() { # $1 = log file
-  "$work/wwtserved" -addr "$addr" -dir "$work/data" -jobs 1 >"$work/$1" 2>&1 &
-  daemon=$!
-  for _ in $(seq 100); do
-    curl -sf "http://$addr/healthz" >/dev/null 2>&1 && return
-    sleep 0.1
+  : >"$work/$1"
+  for attempt in $(seq 0 19); do
+    args=()
+    [ -n "${WWTSERVED_SEGBYTES:-}" ] && args+=(-wal-segment-bytes "$WWTSERVED_SEGBYTES")
+    [ -n "${WWTSERVED_FSPLAN:-}" ] && \
+      args+=(-fault-fsplan "seed=$((${WWTSERVED_FSSEED:-7} + attempt)),$WWTSERVED_FSPLAN")
+    "$work/wwtserved" -addr "$addr" -dir "$work/data" -jobs 1 \
+      "${args[@]}" >>"$work/$1" 2>&1 &
+    daemon=$!
+    for _ in $(seq 100); do
+      curl -sf "http://$addr/healthz" >/dev/null 2>&1 && return
+      # A fault plan can kill startup itself (e.g. ENOSPC while creating the
+      # first WAL segment). That exit is correct — refusing to serve without
+      # a durable log — so restart with the next seed, like an operator.
+      kill -0 "$daemon" 2>/dev/null || break
+      sleep 0.1
+    done
+    kill -9 "$daemon" 2>/dev/null || true
+    wait "$daemon" 2>/dev/null || true
   done
   echo "daemon never became healthy" >&2
   cat "$work/$1" >&2
@@ -81,7 +103,18 @@ echo "== resubmit: must be served entirely from the result cache"
 "$work/wwtsweep" -server "http://$addr" -matrix "$work/matrix.json" \
   -quiet -out "$work/server2.json"
 
-curl -sf "http://$addr/stats"; echo
+stats=$(curl -sf "http://$addr/stats")
+echo "$stats"
+if [ -n "${WWTSERVED_FSPLAN:-}" ]; then
+  # The plan must actually have injected faults, or the pass proved nothing.
+  python3 -c "
+import json, sys
+st = json.loads(sys.argv[1])
+assert st.get('fs_faults', 0) > 0, f'fault plan set but no faults injected: {st}'
+print(f\"fault plan injected {st['fs_faults']} faults \"
+      f\"(storage_errs={st.get('storage_errs', 0)})\")
+" "$stats"
+fi
 kill "$daemon"; wait "$daemon" 2>/dev/null || true
 
 python3 - "$work" <<'EOF'
