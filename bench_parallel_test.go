@@ -1,10 +1,11 @@
 // Serial-vs-parallel host-execution benchmarks for the conservative-window
-// worker pool (cost.Config.Workers). Every variant of one app/machine pair
-// simulates the identical experiment and — by the engine's staging contract —
-// produces the identical fingerprint; only host wall-clock (ns/op) may
-// differ. Compare workers=1 against workers=N on a multi-core host to
-// measure the processor-phase speedup; on a single-core host the pool
-// degrades to a small handshake overhead.
+// worker pool (runner.Options.Workers). Every variant of one app/machine
+// pair simulates the identical experiment — the same runner.TableSpec the
+// golden tests verify — and, by the engine's staging contract, produces
+// the identical fingerprint; only host wall-clock (ns/op) may differ.
+// Compare workers=1 against workers=N on a multi-core host to measure the
+// processor-phase speedup; on a single-core host the pool degrades to a
+// small handshake overhead.
 //
 //	go test -bench=BenchmarkWorkers -benchmem
 package repro_test
@@ -14,9 +15,7 @@ import (
 	"runtime"
 	"testing"
 
-	"repro/internal/apps/em3d"
-	"repro/internal/apps/gauss"
-	"repro/internal/cmmd"
+	"repro/internal/runner"
 )
 
 // workerCounts picks the pool sizes worth measuring on this host: serial,
@@ -32,28 +31,27 @@ func workerCounts() []int {
 	return counts
 }
 
-func BenchmarkWorkersEM3D_MP(b *testing.B) {
+func benchWorkers(b *testing.B, spec runner.Spec) {
 	for _, w := range workerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			cfg := fullCfg()
-			cfg.Workers = w
 			for i := 0; i < b.N; i++ {
-				out := em3d.RunMP(cfg, cmmd.LopSided, em3d.DefaultParams())
+				out, err := runner.Run(spec, runner.Options{Workers: w})
+				if err != nil {
+					b.Fatalf("runner: %v", err)
+				}
+				if out.Res.Err != nil {
+					b.Fatalf("run aborted: %v", out.Res.Err)
+				}
 				report(b, out.Res)
 			}
 		})
 	}
 }
 
+func BenchmarkWorkersEM3D_MP(b *testing.B) {
+	benchWorkers(b, runner.TableSpec("em3d", "mp"))
+}
+
 func BenchmarkWorkersGauss_SM(b *testing.B) {
-	for _, w := range workerCounts() {
-		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			cfg := fullCfg()
-			cfg.Workers = w
-			for i := 0; i < b.N; i++ {
-				out := gauss.RunSM(cfg, gaussPar())
-				report(b, out.Res)
-			}
-		})
-	}
+	benchWorkers(b, runner.TableSpec("gauss", "sm"))
 }

@@ -6,28 +6,30 @@
 // per-processor average time), alongside Go's wall-clock ns/op for the
 // simulator itself.
 //
+// Table benchmarks execute through internal/runner with the specs from
+// runner.TableSpec — the same Spec type the golden replay-equivalence
+// tests consume — so a benchmark provably simulates a configuration the
+// correctness suite verified.
+//
 // Run everything with:
 //
 //	go test -bench=. -benchmem
-//
-// Reduced-scale variants (suffix /quick) run the same code on 8 processors
-// for fast iteration.
 package repro_test
 
 import (
+	"fmt"
 	"testing"
 
-	"repro/internal/apps/em3d"
-	"repro/internal/apps/gauss"
-	"repro/internal/apps/lcp"
-	"repro/internal/apps/mse"
 	"repro/internal/cmmd"
 	"repro/internal/cost"
 	"repro/internal/machine"
 	"repro/internal/memsim"
 	"repro/internal/ni"
 	"repro/internal/parmacs"
+	"repro/internal/runner"
 	"repro/internal/stats"
+
+	"repro/internal/apps/em3d"
 )
 
 // report attaches the simulated results to the benchmark output.
@@ -36,70 +38,84 @@ func report(b *testing.B, res *machine.Result) {
 	b.ReportMetric(res.Summary.TotalCyclesAll()/1e6, "proc-Mcycles")
 }
 
-func fullCfg() cost.Config { return cost.Default(32) }
+// benchRun executes one runner spec and reports the standard metrics,
+// returning the outcome for benchmark-specific extras.
+func benchRun(b *testing.B, spec runner.Spec) *runner.Outcome {
+	b.Helper()
+	out, err := runner.Run(spec, runner.Options{})
+	if err != nil {
+		b.Fatalf("runner: %v", err)
+	}
+	if out.Res.Err != nil {
+		b.Fatalf("run aborted: %v", out.Res.Err)
+	}
+	report(b, out.Res)
+	return out
+}
+
+// steps extracts the iteration count from an LCP outcome's application
+// answer line ("steps=N residual=...").
+func steps(b *testing.B, out *runner.Outcome) float64 {
+	b.Helper()
+	var n int64
+	if _, err := fmt.Sscanf(out.AppLine, "steps=%d", &n); err != nil {
+		b.Fatalf("no step count in app line %q: %v", out.AppLine, err)
+	}
+	return float64(n)
+}
 
 // --- MSE: Tables 4-7 ---
 
 func BenchmarkTable04_MSE_MP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out := mse.RunMP(fullCfg(), cmmd.LopSided, mse.DefaultParams())
-		report(b, out.Res)
+		benchRun(b, runner.TableSpec("mse", "mp"))
 	}
 }
 
 func BenchmarkTable05_MSE_SM(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out := mse.RunSM(fullCfg(), mse.DefaultParams())
-		report(b, out.Res)
+		benchRun(b, runner.TableSpec("mse", "sm"))
 	}
 }
 
 func BenchmarkTable06_MSE_MP_Events(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out := mse.RunMP(fullCfg(), cmmd.LopSided, mse.DefaultParams())
-		report(b, out.Res)
+		out := benchRun(b, runner.TableSpec("mse", "mp"))
 		b.ReportMetric(out.Res.Summary.CountsAll(stats.CntBytesData)/1e6, "data-MB")
 	}
 }
 
 func BenchmarkTable07_MSE_SM_Events(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out := mse.RunSM(fullCfg(), mse.DefaultParams())
-		report(b, out.Res)
+		out := benchRun(b, runner.TableSpec("mse", "sm"))
 		b.ReportMetric(out.Res.Summary.CountsAll(stats.CntSharedMissRemote), "remote-misses")
 	}
 }
 
 // --- Gauss: Tables 8-11 and the §5.2 ablation ---
 
-func gaussPar() gauss.Params { return gauss.Params{N: 512, Seed: 1} }
-
 func BenchmarkTable08_Gauss_MP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out := gauss.RunMP(fullCfg(), cmmd.LopSided, gaussPar())
-		report(b, out.Res)
+		benchRun(b, runner.TableSpec("gauss", "mp"))
 	}
 }
 
 func BenchmarkTable09_Gauss_SM(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out := gauss.RunSM(fullCfg(), gaussPar())
-		report(b, out.Res)
+		benchRun(b, runner.TableSpec("gauss", "sm"))
 	}
 }
 
 func BenchmarkTable10_Gauss_MP_Events(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out := gauss.RunMP(fullCfg(), cmmd.LopSided, gaussPar())
-		report(b, out.Res)
+		out := benchRun(b, runner.TableSpec("gauss", "mp"))
 		b.ReportMetric(out.Res.Summary.CountsAll(stats.CntChannelWrites), "channel-writes")
 	}
 }
 
 func BenchmarkTable11_Gauss_SM_Events(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out := gauss.RunSM(fullCfg(), gaussPar())
-		report(b, out.Res)
+		out := benchRun(b, runner.TableSpec("gauss", "sm"))
 		b.ReportMetric(out.Res.Summary.CountsAll(stats.CntSharedMissRemote), "remote-misses")
 	}
 }
@@ -109,11 +125,12 @@ func BenchmarkTable11_Gauss_SM_Events(b *testing.B) {
 // messages (40.9M), lop-sided tree with active messages and channels
 // (30.1M).
 func BenchmarkAblationGaussBroadcast(b *testing.B) {
-	for _, shape := range []cmmd.Shape{cmmd.Flat, cmmd.Binary, cmmd.LopSided} {
-		b.Run(shape.String(), func(b *testing.B) {
+	for _, shape := range []string{"flat", "binary", "lopsided"} {
+		b.Run(shape, func(b *testing.B) {
+			spec := runner.TableSpec("gauss", "mp")
+			spec.Shape = shape
 			for i := 0; i < b.N; i++ {
-				out := gauss.RunMP(fullCfg(), shape, gaussPar())
-				report(b, out.Res)
+				out := benchRun(b, spec)
 				s := out.Res.Summary
 				comm := s.CyclesAll(stats.LibComp) + s.CyclesAll(stats.NetAccess) +
 					s.CyclesAll(stats.BarrierWait)
@@ -127,30 +144,26 @@ func BenchmarkAblationGaussBroadcast(b *testing.B) {
 
 func BenchmarkTable12_EM3D_MP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out := em3d.RunMP(fullCfg(), cmmd.LopSided, em3d.DefaultParams())
-		report(b, out.Res)
+		benchRun(b, runner.TableSpec("em3d", "mp"))
 	}
 }
 
 func BenchmarkTable13_EM3D_MP_MainLoopEvents(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out := em3d.RunMP(fullCfg(), cmmd.LopSided, em3d.DefaultParams())
-		report(b, out.Res)
+		out := benchRun(b, runner.TableSpec("em3d", "mp"))
 		b.ReportMetric(out.Res.Summary.Counts(em3d.PhaseMain, stats.CntBytesData)/1e6, "main-data-MB")
 	}
 }
 
 func BenchmarkTable14_EM3D_SM(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out := em3d.RunSM(fullCfg(), parmacs.RoundRobin, em3d.DefaultParams())
-		report(b, out.Res)
+		benchRun(b, runner.TableSpec("em3d", "sm"))
 	}
 }
 
 func BenchmarkTable15_EM3D_SM_MainLoopEvents(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out := em3d.RunSM(fullCfg(), parmacs.RoundRobin, em3d.DefaultParams())
-		report(b, out.Res)
+		out := benchRun(b, runner.TableSpec("em3d", "sm"))
 		s := out.Res.Summary
 		b.ReportMetric(s.Counts(em3d.PhaseMain, stats.CntSharedMissRemote), "main-remote-misses")
 		b.ReportMetric(s.Counts(em3d.PhaseMain, stats.CntWriteFaults), "main-write-faults")
@@ -160,11 +173,10 @@ func BenchmarkTable15_EM3D_SM_MainLoopEvents(b *testing.B) {
 // BenchmarkTable16_EM3D_SM_1MBCache is the cache-size ablation: the paper's
 // main-loop total drops from 130M to 61M cycles with a 1 MB cache.
 func BenchmarkTable16_EM3D_SM_1MBCache(b *testing.B) {
-	cfg := fullCfg()
-	cfg.CacheBytes = 1 << 20
+	spec := runner.TableSpec("em3d", "sm")
+	spec.CacheBytes = 1 << 20
 	for i := 0; i < b.N; i++ {
-		out := em3d.RunSM(cfg, parmacs.RoundRobin, em3d.DefaultParams())
-		report(b, out.Res)
+		out := benchRun(b, spec)
 		b.ReportMetric(out.Res.Summary.TotalCycles(em3d.PhaseMain)/1e6, "main-Mcycles")
 	}
 }
@@ -173,9 +185,10 @@ func BenchmarkTable16_EM3D_SM_1MBCache(b *testing.B) {
 // local placement runs the main loop in about two thirds the round-robin
 // time (paper: 86.3M vs 130.0M cycles).
 func BenchmarkTable17_EM3D_SM_LocalAlloc(b *testing.B) {
+	spec := runner.TableSpec("em3d", "sm")
+	spec.Policy = "local"
 	for i := 0; i < b.N; i++ {
-		out := em3d.RunSM(fullCfg(), parmacs.Local, em3d.DefaultParams())
-		report(b, out.Res)
+		out := benchRun(b, spec)
 		b.ReportMetric(out.Res.Summary.TotalCycles(em3d.PhaseMain)/1e6, "main-Mcycles")
 	}
 }
@@ -184,41 +197,39 @@ func BenchmarkTable17_EM3D_SM_LocalAlloc(b *testing.B) {
 
 func BenchmarkTable18_LCP_MP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out := lcp.RunMP(fullCfg(), cmmd.LopSided, lcp.DefaultParams())
-		report(b, out.Res)
-		b.ReportMetric(float64(out.Steps), "steps")
+		out := benchRun(b, runner.TableSpec("lcp", "mp"))
+		b.ReportMetric(steps(b, out), "steps")
 	}
 }
 
 func BenchmarkTable19_LCP_SM(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out := lcp.RunSM(fullCfg(), lcp.DefaultParams())
-		report(b, out.Res)
-		b.ReportMetric(float64(out.Steps), "steps")
+		out := benchRun(b, runner.TableSpec("lcp", "sm"))
+		b.ReportMetric(steps(b, out), "steps")
 	}
 }
 
 func BenchmarkTable20_ALCP_MP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out := lcp.RunAMP(fullCfg(), cmmd.LopSided, lcp.DefaultParams())
-		report(b, out.Res)
-		b.ReportMetric(float64(out.Steps), "steps")
+		out := benchRun(b, runner.TableSpec("alcp", "mp"))
+		b.ReportMetric(steps(b, out), "steps")
 	}
 }
 
 func BenchmarkTable21_ALCP_SM(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out := lcp.RunASM(fullCfg(), lcp.DefaultParams())
-		report(b, out.Res)
-		b.ReportMetric(float64(out.Steps), "steps")
+		out := benchRun(b, runner.TableSpec("alcp", "sm"))
+		b.ReportMetric(steps(b, out), "steps")
 	}
 }
 
 func BenchmarkTable22_LCP_MP_Events(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sync := lcp.RunMP(fullCfg(), cmmd.LopSided, lcp.DefaultParams())
-		async := lcp.RunAMP(fullCfg(), cmmd.LopSided, lcp.DefaultParams())
-		report(b, sync.Res)
+		sync := benchRun(b, runner.TableSpec("lcp", "mp"))
+		async, err := runner.Run(runner.TableSpec("alcp", "mp"), runner.Options{})
+		if err != nil || async.Res.Err != nil {
+			b.Fatalf("alcp run: %v / %v", err, async.Res.Err)
+		}
 		b.ReportMetric(sync.Res.Summary.CountsAll(stats.CntChannelWrites), "sync-channel-writes")
 		b.ReportMetric(async.Res.Summary.CountsAll(stats.CntChannelWrites), "async-channel-writes")
 	}
@@ -226,10 +237,12 @@ func BenchmarkTable22_LCP_MP_Events(b *testing.B) {
 
 func BenchmarkTable23_LCP_SM_Events(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sync := lcp.RunSM(fullCfg(), lcp.DefaultParams())
-		async := lcp.RunASM(fullCfg(), lcp.DefaultParams())
-		report(b, sync.Res)
-		shared := func(o *lcp.Output) float64 {
+		sync := benchRun(b, runner.TableSpec("lcp", "sm"))
+		async, err := runner.Run(runner.TableSpec("alcp", "sm"), runner.Options{})
+		if err != nil || async.Res.Err != nil {
+			b.Fatalf("alcp run: %v / %v", err, async.Res.Err)
+		}
+		shared := func(o *runner.Outcome) float64 {
 			s := o.Res.Summary
 			return s.CountsAll(stats.CntSharedMissLocal) + s.CountsAll(stats.CntSharedMissRemote)
 		}
@@ -299,6 +312,29 @@ func BenchmarkMicroBarrier(b *testing.B) {
 	}
 }
 
+// BenchmarkMicroBlockTransfer measures a 1 KB synchronous block transfer
+// (RTS/CTS handshake plus streamed data packets) end to end.
+func BenchmarkMicroBlockTransfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := cost.Default(2)
+		m := machine.NewMP(cfg, cmmd.Binary, func(n *machine.MPNode) {
+			const words = 128
+			buf := n.AllocF(words)
+			if n.ID == 0 {
+				n.EP.RecvBlock(1, &buf, 0, words)
+			} else {
+				for k := 0; k < words; k++ {
+					buf.Set(n.Mem, k, float64(k))
+				}
+				n.EP.SendBlock(0, 1, &buf, 0, words)
+			}
+			n.Barrier()
+		})
+		res := m.Run()
+		b.ReportMetric(float64(res.Elapsed), "sim-cycles")
+	}
+}
+
 // BenchmarkMicroMCSLockHandoff measures contended MCS lock handoff.
 func BenchmarkMicroMCSLockHandoff(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -328,7 +364,9 @@ func BenchmarkMicroMCSLockHandoff(b *testing.B) {
 
 // BenchmarkAblationEM3DFlush measures the §5.3.4 software-flush proposal:
 // consumers flush remote values after use, sending the directory a
-// replacement hint so producers upgrade without invalidation rounds.
+// replacement hint so producers upgrade without invalidation rounds. The
+// flush variant has no Spec knob, so this ablation drives the app package
+// directly at table scale.
 func BenchmarkAblationEM3DFlush(b *testing.B) {
 	for _, flush := range []bool{false, true} {
 		name := "base"
@@ -339,7 +377,7 @@ func BenchmarkAblationEM3DFlush(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				out := run(fullCfg(), parmacs.RoundRobin, em3d.DefaultParams())
+				out := run(cost.Default(runner.TableProcs), parmacs.RoundRobin, em3d.DefaultParams())
 				report(b, out.Res)
 				b.ReportMetric(out.Res.Summary.TotalCycles(em3d.PhaseMain)/1e6, "main-Mcycles")
 			}
@@ -352,15 +390,30 @@ func BenchmarkAblationEM3DFlush(b *testing.B) {
 // "these delays ... will become untenable for larger systems" (§5.2).
 func BenchmarkScalingGaussSM(b *testing.B) {
 	for _, procs := range []int{8, 16, 32, 64} {
-		b.Run(fmtProcs(procs), func(b *testing.B) {
+		b.Run(fmt.Sprintf("procs-%02d", procs), func(b *testing.B) {
+			spec := runner.TableSpec("gauss", "sm")
+			spec.Procs = procs
 			for i := 0; i < b.N; i++ {
-				out := gauss.RunSM(cost.Default(procs), gauss.Params{N: 512, Seed: 1})
-				report(b, out.Res)
+				benchRun(b, spec)
 			}
 		})
 	}
 }
 
-func fmtProcs(p int) string {
-	return "procs-" + string(rune('0'+p/10)) + string(rune('0'+p%10))
+var sinkTLB bool
+
+// BenchmarkMicroTLBHit measures the host cost of the simulated TLB's hit
+// path (MRU filter plus open-addressed probe) — the single hottest
+// operation in the whole simulator.
+func BenchmarkMicroTLBHit(b *testing.B) {
+	t := memsim.NewTLB(64, 4096)
+	for p := 0; p < 64; p++ {
+		t.Access(uint64(p) << 12)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Rotate over 8 resident pages: misses the MRU filter half the
+		// time, exercising the probe path without ever faulting.
+		sinkTLB = t.Access(uint64(i&7) << 12)
+	}
 }

@@ -68,8 +68,9 @@ func (a *AM) Request(dst, handler int, args [4]uint64, dataBytes int, data []uin
 	p.Interact()
 	p.ChargeStall(stats.LibComp, a.Cfg.AMSendCycles)
 	p.Acct.Add(stats.CntActiveMessages, 1)
-	a.SendPacket(ni.Packet{Dst: dst, Tag: handler, Args: args,
-		DataBytes: dataBytes, Data: data})
+	pkt := ni.Packet{Dst: dst, Tag: handler, Args: args, DataBytes: dataBytes}
+	pkt.SetPayload(data)
+	a.SendPacket(pkt)
 }
 
 // SendPacket injects a pre-built packet, through the reliable transport when

@@ -353,8 +353,8 @@ func (c *Comm) onVec(pkt ni.Packet) {
 		c.vec[seq] = st
 	}
 	off := int(pkt.Args[1])
-	copy(st.words[off:], pkt.Data)
-	st.got += len(pkt.Data)
+	copy(st.words[off:], pkt.Payload())
+	st.got += pkt.NWords
 }
 
 // BcastVecF distributes elements [lo, hi) of vec from root to all nodes down
@@ -406,25 +406,25 @@ func (c *Comm) BcastVecF(root int, vec *memsim.FVec, lo, hi int) {
 		if len(dsts) == 0 || off >= end {
 			return
 		}
-		slab := make([]uint64, end-off)
-		for i := off; i < end; i++ {
-			slab[i-off] = math.Float64bits(vec.V[lo+i])
-		}
 		for a := off; a < end; a += per {
 			b := a + per
 			if b > end {
 				b = end
 			}
 			ep.Mem.ReadRange(vec.Addr(lo+a), (b-a)*vec.ElemBytes)
-			words := slab[a-off : b-off]
+			pkt := ni.Packet{
+				Tag:       c.hVec,
+				Args:      [4]uint64{uint64(seq), uint64(a), uint64(n)},
+				DataBytes: (b - a) * vec.ElemBytes,
+				NWords:    b - a,
+			}
+			for i := a; i < b; i++ {
+				pkt.Words[i-a] = math.Float64bits(vec.V[lo+i])
+			}
 			for _, dst := range dsts {
 				p.ChargeStall(stats.LibComp, ep.Cfg.CMMDPerPacket)
-				ep.AM.SendPacket(ni.Packet{
-					Dst: dst, Tag: c.hVec,
-					Args:      [4]uint64{uint64(seq), uint64(a), uint64(n)},
-					Data:      words,
-					DataBytes: (b - a) * vec.ElemBytes,
-				})
+				pkt.Dst = dst
+				ep.AM.SendPacket(pkt)
 			}
 		}
 	}

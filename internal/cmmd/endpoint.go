@@ -69,6 +69,20 @@ type Endpoint struct {
 	postedRecvs map[int][]*RecvChannel // tag -> ready channels (FIFO)
 	pendingRTS  map[int][]rts          // tag -> senders awaiting a receiver
 	ctsGrants   map[int][]int          // src -> granted channel ids (FIFO)
+
+	// wbuf is channelWrite's reusable staging buffer for the payload words
+	// of one transfer. Safe to reuse because SetPayload copies the words
+	// into each packet value at injection — nothing aliases the buffer once
+	// SendPacket returns — and receive-side handlers never channel-write.
+	wbuf []uint64
+}
+
+// payloadBuf returns the endpoint's staging buffer resized to n words.
+func (ep *Endpoint) payloadBuf(n int) []uint64 {
+	if cap(ep.wbuf) < n {
+		ep.wbuf = make([]uint64, n)
+	}
+	return ep.wbuf[:n]
 }
 
 type rts struct {
@@ -160,11 +174,11 @@ func (ep *Endpoint) onData(pkt ni.Packet) {
 	ch := ep.recvCh[int(pkt.Args[0])]
 	off := int(pkt.Args[1])
 	ep.Mem.WriteRange(ch.baseAddr+uint64(off*ch.elemBytes),
-		len(pkt.Data)*ch.elemBytes)
-	for i, w := range pkt.Data {
+		pkt.NWords*ch.elemBytes)
+	for i, w := range pkt.Payload() {
 		ch.store(off+i, w)
 	}
-	ch.gotWords += len(pkt.Data)
+	ch.gotWords += pkt.NWords
 	if ch.gotWords > ch.expectWords {
 		panic(fmt.Sprintf("cmmd: node %d channel %d overrun", ep.Self, ch.ID))
 	}
@@ -179,7 +193,7 @@ func (ep *Endpoint) onData(pkt ni.Packet) {
 // injects them (paper §4.1). One channel-write op is counted regardless of
 // packet count.
 func (ep *Endpoint) ChannelWriteF(dst, chID int, vec *memsim.FVec, lo, hi int) {
-	words := make([]uint64, hi-lo)
+	words := ep.payloadBuf(hi - lo)
 	for i := lo; i < hi; i++ {
 		words[i-lo] = math.Float64bits(vec.V[i])
 	}
@@ -188,7 +202,7 @@ func (ep *Endpoint) ChannelWriteF(dst, chID int, vec *memsim.FVec, lo, hi int) {
 
 // ChannelWriteI streams elements [lo, hi) of an IVec to channel chID on dst.
 func (ep *Endpoint) ChannelWriteI(dst, chID int, vec *memsim.IVec, lo, hi int) {
-	words := make([]uint64, hi-lo)
+	words := ep.payloadBuf(hi - lo)
 	for i := lo; i < hi; i++ {
 		words[i-lo] = uint64(vec.V[i])
 	}
@@ -211,12 +225,13 @@ func (ep *Endpoint) channelWrite(dst, chID int, words []uint64, srcAddr uint64, 
 		// The library loads the payload from memory, then injects it.
 		ep.Mem.ReadRange(srcAddr+uint64(off*elemBytes), (end-off)*elemBytes)
 		p.ChargeStall(stats.LibComp, ep.Cfg.CMMDPerPacket)
-		ep.AM.SendPacket(ni.Packet{
+		pkt := ni.Packet{
 			Dst: dst, Tag: ep.hData,
 			Args:      [4]uint64{uint64(chID), uint64(off)},
-			Data:      words[off:end],
 			DataBytes: (end - off) * elemBytes,
-		})
+		}
+		pkt.SetPayload(words[off:end])
+		ep.AM.SendPacket(pkt)
 	}
 }
 

@@ -34,6 +34,92 @@ type request struct {
 	m     *memsim.Mem
 }
 
+// cohEvKind discriminates the protocol's event bodies: every closure the
+// directory and cache controllers used to capture is now a kind plus the
+// scalar fields below, so steady-state coherence traffic schedules nothing
+// but recycled cohEvents.
+type cohEvKind uint8
+
+const (
+	evFree cohEvKind = iota
+	evDirHandle  // request r arrives at home (draws fault decisions)
+	evDirServe   // internal requeue: settle window, ctrl delay, waiter drain
+	evNackWake   // wake the requester with a NACK verdict
+	evCtrlInval  // cache controller on id invalidates block, acks home
+	evCtrlRecall // cache controller on id services a recall; flag=downgrade
+	evDirAck     // acknowledgement at home from id; flag=withData
+	evWriteback  // dirty writeback at home from id
+	evGrant      // reply arrival at requester: install block, wake processor
+	evFlushHint  // advisory replacement hint at home from id
+)
+
+// cohEvent is a pooled, closure-free protocol event (sim.Action). Which
+// fields are meaningful depends on kind; r is only populated for
+// request-carrying kinds (handle/serve/grant/nack).
+type cohEvent struct {
+	pr    *Protocol
+	pool  *cohPool
+	kind  cohEvKind
+	home  int
+	id    int
+	block uint64
+	flag  bool
+	r     request
+}
+
+// RunEvent dispatches the event body and recycles the event. Engine context.
+func (ev *cohEvent) RunEvent(at sim.Time) {
+	pr := ev.pr
+	switch ev.kind {
+	case evDirHandle:
+		pr.dirHandle(ev.home, ev.r, at)
+	case evDirServe:
+		pr.dirServe(ev.home, ev.r, at)
+	case evNackWake:
+		ev.r.m.P.WakeVals(at, 0, 1)
+	case evCtrlInval:
+		pr.ctrlInval(ev.id, ev.home, ev.block, at, false)
+	case evCtrlRecall:
+		pr.ctrlRecall(ev.id, ev.home, ev.block, at, ev.flag)
+	case evDirAck:
+		pr.dirAck(ev.home, ev.block, at, ev.flag, ev.id)
+	case evWriteback:
+		pr.dirWriteback(ev.home, ev.block, ev.id, at)
+	case evGrant:
+		pr.grantArrived(ev.home, ev.r, at)
+	case evFlushHint:
+		e := pr.entryOf(ev.home, ev.block)
+		// Advisory: ignore if a transaction is mid-flight for the block.
+		if !e.busy && e.state == dirShared {
+			e.sharers.clear(ev.id)
+		}
+	default:
+		panic(fmt.Sprintf("coherence: event with kind %d", ev.kind))
+	}
+	ev.kind = evFree
+	ev.r = request{}
+	ev.pool.put(ev)
+}
+
+// cohPool recycles cohEvents. The Protocol owns one pool popped only from
+// engine context (directory and controller events scheduling follow-ups),
+// and each node owns one popped only by its own processor during the
+// processor phase (request issue, evictions). Events are always recycled in
+// engine context; the engine's phase-separation invariant (processor and
+// event phases never overlap) is what lets both pools go lockless.
+type cohPool struct{ free []*cohEvent }
+
+func (pl *cohPool) get(pr *Protocol) *cohEvent {
+	if n := len(pl.free); n > 0 {
+		ev := pl.free[n-1]
+		pl.free = pl.free[:n-1]
+		return ev
+	}
+	return &cohEvent{pr: pr, pool: pl}
+}
+
+func (pl *cohPool) put(ev *cohEvent) { pl.free = append(pl.free, ev) }
+
 type dirState uint8
 
 const (
@@ -90,7 +176,8 @@ type entry struct {
 	owner   int
 
 	busy    bool
-	pend    *txn
+	pend    *txn // points at pendT when a transaction is in flight, else nil
+	pendT   txn  // inline storage: one transaction per block at a time
 	waiters []pendingReq
 
 	// settleUntil defers requests for this block until a freshly granted
@@ -174,8 +261,9 @@ func (pr *Protocol) dirHandle(home int, r request, arrive sim.Time) {
 			return
 		}
 		if d.Delay > 0 {
-			at := arrive + d.Delay
-			pr.Eng.Schedule(at, func() { pr.dirServe(home, r, at) })
+			ev := pr.evPool.get(pr)
+			ev.kind, ev.home, ev.r = evDirServe, home, r
+			pr.Eng.ScheduleAction(arrive+d.Delay, ev)
 			return
 		}
 	}
@@ -193,8 +281,10 @@ func (pr *Protocol) nack(home int, r request, arrive sim.Time) {
 	if pr.check != nil {
 		pr.check.nacksOut[home]++
 	}
-	pr.record(e, arrive, "nack %v from %d", r.kind, r.reqID)
-	pr.note(home, arrive, "nacked %v %#x from %d", r.kind, r.block, r.reqID)
+	if pr.forensics {
+		pr.record(e, arrive, "nack %v from %d", r.kind, r.reqID)
+		pr.note(home, arrive, "nacked %v %#x from %d", r.kind, r.block, r.reqID)
+	}
 	start := arrive
 	if n.busyUntil > start {
 		start = n.busyUntil
@@ -203,8 +293,9 @@ func (pr *Protocol) nack(home int, r request, arrive sim.Time) {
 	pr.countMsg(home, r.reqID, false)
 	at := n.busyUntil + pr.Cfg.DirMsgSend + pr.latency(home, r.reqID) +
 		pr.sendDelay(n.busyUntil, home, r.reqID)
-	p := r.m.P
-	pr.Eng.Schedule(at, func() { p.Wake(at, wakeInfo{nacked: true}) })
+	ev := pr.evPool.get(pr)
+	ev.kind, ev.r = evNackWake, r
+	pr.Eng.ScheduleAction(at, ev)
 }
 
 // dirServe processes a request at the home. If the block has a transaction
@@ -217,17 +308,25 @@ func (pr *Protocol) dirServe(home int, r request, arrive sim.Time) {
 			home, r.kind, r.block, r.reqID, arrive, e.busy, e.state)
 	}
 	if e.busy {
-		pr.record(e, arrive, "queue %v from %d (txn in flight)", r.kind, r.reqID)
+		if pr.forensics {
+			pr.record(e, arrive, "queue %v from %d (txn in flight)", r.kind, r.reqID)
+		}
 		e.waiters = append(e.waiters, pendingReq{r: r, arrive: arrive})
 		return
 	}
 	if arrive < e.settleUntil {
 		at := e.settleUntil
-		pr.record(e, arrive, "defer %v from %d until @%d (settle)", r.kind, r.reqID, at)
-		pr.Eng.Schedule(at, func() { pr.dirServe(home, r, at) })
+		if pr.forensics {
+			pr.record(e, arrive, "defer %v from %d until @%d (settle)", r.kind, r.reqID, at)
+		}
+		ev := pr.evPool.get(pr)
+		ev.kind, ev.home, ev.r = evDirServe, home, r
+		pr.Eng.ScheduleAction(at, ev)
 		return
 	}
-	pr.note(home, arrive, "serving %v %#x from %d", r.kind, r.block, r.reqID)
+	if pr.forensics {
+		pr.note(home, arrive, "serving %v %#x from %d", r.kind, r.block, r.reqID)
+	}
 	n := pr.nodes[home]
 	start := arrive
 	if n.busyUntil > start {
@@ -264,12 +363,13 @@ func (pr *Protocol) dirServe(home int, r request, arrive sim.Time) {
 			}
 			pr.beginRecall(home, e, r, arrive, start)
 		default:
-			var others []int
+			pr.scratch = pr.scratch[:0]
 			e.sharers.forEach(func(i int) {
 				if i != r.reqID {
-					others = append(others, i)
+					pr.scratch = append(pr.scratch, i)
 				}
 			})
+			others := pr.scratch
 			if len(others) == 0 {
 				occ, send := cfg.DirBase, cfg.DirMsgSend
 				if needData {
@@ -285,9 +385,12 @@ func (pr *Protocol) dirServe(home int, r request, arrive sim.Time) {
 			}
 			// Invalidate every other sharer, collect acknowledgements.
 			e.busy = true
-			e.pend = &txn{r: r, arrive: arrive, acksLeft: len(others), needData: needData}
-			pr.record(e, arrive, "inval round: %d sharers (%v from %d)",
-				len(others), r.kind, r.reqID)
+			e.pendT = txn{r: r, arrive: arrive, acksLeft: len(others), needData: needData}
+			e.pend = &e.pendT
+			if pr.forensics {
+				pr.record(e, arrive, "inval round: %d sharers (%v from %d)",
+					len(others), r.kind, r.reqID)
+			}
 			cost := cfg.DirBase + int64(len(others))*cfg.DirMsgSend
 			if needData {
 				cost += cfg.DRAMCycles
@@ -299,9 +402,10 @@ func (pr *Protocol) dirServe(home int, r request, arrive sim.Time) {
 					pr.check.ctrlOut[home]++
 				}
 				pr.countMsg(home, s, false)
-				sID := s
 				at := n.busyUntil + pr.latency(home, s) + pr.sendDelay(n.busyUntil, home, s)
-				pr.Eng.Schedule(at, func() { pr.ctrlInval(sID, home, r.block, at, false) })
+				ev := pr.evPool.get(pr)
+				ev.kind, ev.id, ev.home, ev.block = evCtrlInval, s, home, r.block
+				pr.Eng.ScheduleAction(at, ev)
 			}
 		}
 	}
@@ -312,9 +416,12 @@ func (pr *Protocol) beginRecall(home int, e *entry, r request, arrive, start sim
 	n := pr.nodes[home]
 	cfg := pr.Cfg
 	e.busy = true
-	e.pend = &txn{r: r, arrive: arrive, acksLeft: 1, needData: true,
+	e.pendT = txn{r: r, arrive: arrive, acksLeft: 1, needData: true,
 		recall: true, recallFrom: e.owner}
-	pr.record(e, arrive, "recall owner %d (%v from %d)", e.owner, r.kind, r.reqID)
+	e.pend = &e.pendT
+	if pr.forensics {
+		pr.record(e, arrive, "recall owner %d (%v from %d)", e.owner, r.kind, r.reqID)
+	}
 	n.busyUntil = start + cfg.DirBase + cfg.DirMsgSend
 	owner := e.owner
 	if pr.check != nil {
@@ -326,7 +433,9 @@ func (pr *Protocol) beginRecall(home int, e *entry, r request, arrive, start sim
 	// A GETS recall downgrades the owner to Shared; GETX/UPGRADE recalls
 	// invalidate it.
 	downgrade := r.kind == reqGETS
-	pr.Eng.Schedule(at, func() { pr.ctrlRecall(owner, home, block, at, downgrade) })
+	ev := pr.evPool.get(pr)
+	ev.kind, ev.id, ev.home, ev.block, ev.flag = evCtrlRecall, owner, home, block, downgrade
+	pr.Eng.ScheduleAction(at, ev)
 }
 
 // ctrlInval is the cache controller on node id invalidating block for an
@@ -336,7 +445,10 @@ func (pr *Protocol) ctrlInval(id, home int, block uint64, at sim.Time, _ bool) {
 	if Debug {
 		trace("ctrlInval node=%d block=%#x at=%d", id, block, at)
 	}
-	if pr.deferToFill(id, block, at, func(t sim.Time) { pr.ctrlInval(id, home, block, t, false) }) {
+	if fa, ok := pr.fillDeferral(id, block, at); ok {
+		ev := pr.evPool.get(pr)
+		ev.kind, ev.id, ev.home, ev.block = evCtrlInval, id, home, block
+		pr.Eng.ScheduleAction(fa, ev)
 		return
 	}
 	cfg := pr.Cfg
@@ -350,7 +462,9 @@ func (pr *Protocol) ctrlInval(id, home int, block uint64, at sim.Time, _ bool) {
 		st = pr.nodes[id].mem.Cache.Invalidate(block)
 	}
 	pr.wakeWatchers(id, block, at)
-	pr.note(id, at, "invalidated %#x for home %d", block, home)
+	if pr.forensics {
+		pr.note(id, at, "invalidated %#x for home %d", block, home)
+	}
 	delay := cfg.InvalidateCycles
 	withData := false
 	switch st {
@@ -364,7 +478,9 @@ func (pr *Protocol) ctrlInval(id, home int, block uint64, at sim.Time, _ bool) {
 	}
 	pr.countMsg(id, home, withData)
 	ackAt := at + delay + pr.latency(id, home) + pr.sendDelay(at, id, home)
-	pr.Eng.Schedule(ackAt, func() { pr.dirAck(home, block, ackAt, withData, id) })
+	ev := pr.evPool.get(pr)
+	ev.kind, ev.home, ev.block, ev.flag, ev.id = evDirAck, home, block, withData, id
+	pr.Eng.ScheduleAction(ackAt, ev)
 }
 
 // ctrlRecall is the cache controller on the exclusive owner servicing a
@@ -373,7 +489,10 @@ func (pr *Protocol) ctrlRecall(id, home int, block uint64, at sim.Time, downgrad
 	if Debug {
 		trace("ctrlRecall node=%d block=%#x at=%d downgrade=%v", id, block, at, downgrade)
 	}
-	if pr.deferToFill(id, block, at, func(t sim.Time) { pr.ctrlRecall(id, home, block, t, downgrade) }) {
+	if fa, ok := pr.fillDeferral(id, block, at); ok {
+		ev := pr.evPool.get(pr)
+		ev.kind, ev.id, ev.home, ev.block, ev.flag = evCtrlRecall, id, home, block, downgrade
+		pr.Eng.ScheduleAction(fa, ev)
 		return
 	}
 	cfg := pr.Cfg
@@ -382,10 +501,14 @@ func (pr *Protocol) ctrlRecall(id, home int, block uint64, at sim.Time, downgrad
 	if st == memsim.Invalid {
 		// The owner already evicted it; the writeback is (or will be) in
 		// flight. Acknowledge without data.
-		pr.note(id, at, "recall of %#x for home %d: already evicted", block, home)
+		if pr.forensics {
+			pr.note(id, at, "recall of %#x for home %d: already evicted", block, home)
+		}
 		pr.countMsg(id, home, false)
 		ackAt := at + cfg.InvalidateCycles + pr.latency(id, home) + pr.sendDelay(at, id, home)
-		pr.Eng.Schedule(ackAt, func() { pr.dirAck(home, block, ackAt, false, id) })
+		ev := pr.evPool.get(pr)
+		ev.kind, ev.home, ev.block, ev.flag, ev.id = evDirAck, home, block, false, id
+		pr.Eng.ScheduleAction(ackAt, ev)
 		return
 	}
 	if downgrade {
@@ -394,11 +517,15 @@ func (pr *Protocol) ctrlRecall(id, home int, block uint64, at sim.Time, downgrad
 		cache.Invalidate(block)
 		pr.wakeWatchers(id, block, at)
 	}
-	pr.note(id, at, "recalled %#x for home %d (downgrade=%v)", block, home, downgrade)
+	if pr.forensics {
+		pr.note(id, at, "recalled %#x for home %d (downgrade=%v)", block, home, downgrade)
+	}
 	delay := cfg.InvalidateCycles + cfg.ReplSharedDirty
 	pr.countMsg(id, home, true)
 	ackAt := at + delay + pr.latency(id, home) + pr.sendDelay(at, id, home)
-	pr.Eng.Schedule(ackAt, func() { pr.dirAck(home, block, ackAt, true, id) })
+	ev := pr.evPool.get(pr)
+	ev.kind, ev.home, ev.block, ev.flag, ev.id = evDirAck, home, block, true, id
+	pr.Eng.ScheduleAction(ackAt, ev)
 }
 
 // dirAck processes an acknowledgement (with or without data) at the home.
@@ -408,7 +535,9 @@ func (pr *Protocol) dirAck(home int, block uint64, at sim.Time, withData bool, f
 	if pr.check != nil {
 		pr.check.acksIn[home]++
 	}
-	pr.record(e, at, "ack from %d (data=%v)", from, withData)
+	if pr.forensics {
+		pr.record(e, at, "ack from %d (data=%v)", from, withData)
+	}
 	if e.pend == nil {
 		// An ack with no transaction in flight means the protocol state
 		// machine is inconsistent — a bug, not a simulated condition. Abort
@@ -470,8 +599,10 @@ func (pr *Protocol) completeTxn(home int, block uint64, e *entry) {
 		e.sharers.reset()
 		e.owner = t.r.reqID
 	}
-	pr.record(e, n.busyUntil, "txn done: state=%d owner=%d sharers=%d",
-		e.state, e.owner, e.sharers.count())
+	if pr.forensics {
+		pr.record(e, n.busyUntil, "txn done: state=%d owner=%d sharers=%d",
+			e.state, e.owner, e.sharers.count())
+	}
 	grantArrive := pr.reply(home, t.r, n.busyUntil, t.needData)
 	if t.r.kind != reqGETS {
 		pr.settle(e, grantArrive)
@@ -481,18 +612,21 @@ func (pr *Protocol) completeTxn(home int, block uint64, e *entry) {
 
 	if len(e.waiters) > 0 {
 		ws := e.waiters
-		e.waiters = nil
 		when := n.busyUntil
 		for _, w := range ws {
-			w := w
 			at := when
 			if w.arrive > at {
 				at = w.arrive
 			}
 			// Straight to dirServe: the queued request already drew its
 			// fault decision when it first arrived.
-			pr.Eng.Schedule(at, func() { pr.dirServe(home, w.r, at) })
+			ev := pr.evPool.get(pr)
+			ev.kind, ev.home, ev.r = evDirServe, home, w.r
+			pr.Eng.ScheduleAction(at, ev)
 		}
+		// Reuse the backing array; the scheduled events hold copies of the
+		// requests, so truncating here cannot clobber anything in flight.
+		e.waiters = e.waiters[:0]
 	}
 }
 
@@ -505,7 +639,9 @@ func (pr *Protocol) dirWriteback(home int, block uint64, from int, at sim.Time) 
 		start = n.busyUntil
 	}
 	n.busyUntil = start + pr.Cfg.DirBase + pr.Cfg.DirBlockRecv
-	pr.record(e, at, "writeback from %d", from)
+	if pr.forensics {
+		pr.record(e, at, "writeback from %d", from)
+	}
 
 	if e.busy && e.pend != nil && e.pend.recall && e.pend.recallFrom == from {
 		// The writeback raced the recall; it carries the data the
@@ -541,33 +677,40 @@ func (pr *Protocol) reply(home int, r request, when sim.Time, withData bool) sim
 		pr.wd.Progress(when)
 	}
 	arrive := when + pr.latency(home, r.reqID) + pr.sendDelay(when, home, r.reqID)
-	state := uint8(memsim.Shared)
-	if r.kind != reqGETS {
-		state = memsim.Modified
-	}
 	if pr.forensics {
 		pr.record(pr.entryOf(home, r.block), when, "grant %v to %d (data=%v, arrives @%d)",
 			r.kind, r.reqID, withData, arrive)
 	}
 	if pr.ctrl != nil {
 		// Register the in-flight fill so invalidations and recalls that
-		// overtake it are deferred (see deferToFill).
+		// overtake it are deferred (see fillDeferral).
 		pr.nodes[r.reqID].fills[r.block] = arrive
 	}
-	p := r.m.P
-	pr.Eng.Schedule(arrive, func() {
-		if pr.ctrl != nil {
-			delete(pr.nodes[r.reqID].fills, r.block)
-		}
-		repl := pr.installAt(r.m, r.block, state, arrive)
-		p.Wake(arrive, wakeInfo{replCycles: repl})
-		if pr.check != nil {
-			// The transaction settled with this install; verify the block's
-			// global invariants at the first claimed-consistent moment.
-			pr.check.verifyBlock(home, r.block, arrive)
-		}
-	})
+	ev := pr.evPool.get(pr)
+	ev.kind, ev.home, ev.r = evGrant, home, r
+	pr.Eng.ScheduleAction(arrive, ev)
 	return arrive
+}
+
+// grantArrived runs at the requester when the grant lands: clear the
+// in-flight fill, install the block in event context (so later recalls and
+// invalidations observe it), then wake the processor with the replacement
+// cost it owes.
+func (pr *Protocol) grantArrived(home int, r request, arrive sim.Time) {
+	if pr.ctrl != nil {
+		delete(pr.nodes[r.reqID].fills, r.block)
+	}
+	state := uint8(memsim.Shared)
+	if r.kind != reqGETS {
+		state = memsim.Modified
+	}
+	repl := pr.installAt(r.m, r.block, state, arrive)
+	r.m.P.WakeVals(arrive, repl, 0)
+	if pr.check != nil {
+		// The transaction settled with this install; verify the block's
+		// global invariants at the first claimed-consistent moment.
+		pr.check.verifyBlock(home, r.block, arrive)
+	}
 }
 
 // settle gives a freshly granted write until one quantum past its arrival

@@ -62,6 +62,13 @@ type Protocol struct {
 	// atomically: requesters increment concurrently, the engine's watchdog
 	// gate reads at quantum boundaries.
 	outstanding int64
+
+	// evPool recycles protocol events scheduled from engine context;
+	// per-node pools cover processor-context scheduling (see cohPool).
+	evPool cohPool
+
+	// scratch is dirServe's reusable sharer-id buffer (engine context only).
+	scratch []int
 }
 
 type node struct {
@@ -82,6 +89,10 @@ type node struct {
 	// stall reports (forensics only).
 	lastAct   string
 	lastActAt sim.Time
+
+	// evPool recycles events this node's processor schedules from processor
+	// context (request issue, evictions, flush hints).
+	evPool cohPool
 }
 
 // New creates the protocol for cfg.Procs nodes.
@@ -139,13 +150,11 @@ func (pr *Protocol) countMsg(n, dst int, carriesBlock bool) {
 	}
 }
 
-// wakeInfo is passed from the reply event to the woken requester: the
-// replacement cost of whatever the installed block displaced, or the fact
-// that the home refused the request and it must be retried.
-type wakeInfo struct {
-	replCycles int64
-	nacked     bool
-}
+// Requester wakes carry two typed values through sim.Proc.WakeVals — the
+// replacement cost of whatever the installed block displaced, and whether
+// the home refused the request (NACK) and it must be retried. Typed values
+// rather than a struct payload because Proc.Wake's interface payload would
+// box a heap allocation onto every miss.
 
 // EnableChecker arms the runtime invariant checker (see check.go). Must be
 // called before the simulation starts; returns the checker for end-of-run
@@ -215,28 +224,28 @@ func (pr *Protocol) sendDelay(when sim.Time, src, dst int) sim.Time {
 	return pr.ctrl.DecideMessage(when, src, dst).Delay
 }
 
-// deferToFill defers a cache-controller action on node id when a granted
-// fill for block is still in flight to that node — an invalidation or recall
-// that overtook the data reply it logically follows. Real controllers hold
-// such messages in the MSHR until the fill completes; without this, a
-// delayed fill would install a ghost copy the directory no longer records.
-// Only possible under fault injection. Reports whether it rescheduled fn.
-func (pr *Protocol) deferToFill(id int, block uint64, at sim.Time, fn func(sim.Time)) bool {
+// fillDeferral reports whether a cache-controller action on node id must be
+// deferred because a granted fill for block is still in flight to that node
+// — an invalidation or recall that overtook the data reply it logically
+// follows — and if so, until when. Real controllers hold such messages in
+// the MSHR until the fill completes; without this, a delayed fill would
+// install a ghost copy the directory no longer records. Only possible under
+// fault injection; callers reschedule themselves at the returned time.
+func (pr *Protocol) fillDeferral(id int, block uint64, at sim.Time) (sim.Time, bool) {
 	if pr.ctrl == nil {
-		return false
+		return 0, false
 	}
 	fa, ok := pr.nodes[id].fills[block]
 	if !ok {
-		return false
+		return 0, false
 	}
 	if fa < at {
 		fa = at
 	}
-	pr.Eng.Schedule(fa, func() { fn(fa) })
-	return true
+	return fa, true
 }
 
-// ReadMiss implements memsim.SharedHandler: fetch a readable copy. The
+/// ReadMiss implements memsim.SharedHandler: fetch a readable copy. The
 // block is installed by the cache controller at reply-arrival time (in
 // event context), so a subsequent recall or invalidation always observes
 // the installed line; the processor is charged when it wakes.
@@ -303,13 +312,17 @@ func (pr *Protocol) issue(home int, r request, cat stats.Category, why string) {
 	retries := 0
 	var backoff int64
 	for {
-		pr.note(p.ID, p.Clock(), "sent %v %#x to home %d", r.kind, r.block, home)
+		if pr.forensics {
+			pr.note(p.ID, p.Clock(), "sent %v %#x to home %d", r.kind, r.block, home)
+		}
 		pr.countMsg(p.ID, home, false)
 		arrive := p.Clock() + pr.latency(p.ID, home)
-		p.Schedule(arrive, func() { pr.dirHandle(home, r, arrive) })
-		info := p.Block(cat, why).(wakeInfo)
-		if !info.nacked {
-			p.ChargeStall(cat, info.replCycles)
+		ev := pr.nodes[p.ID].evPool.get(pr)
+		ev.kind, ev.home, ev.r = evDirHandle, home, r
+		p.ScheduleAction(arrive, ev)
+		repl, nacked := p.BlockVals(cat, why)
+		if nacked == 0 {
+			p.ChargeStall(cat, repl)
 			return
 		}
 		retries++
@@ -356,10 +369,9 @@ func (pr *Protocol) installAt(m *memsim.Mem, block uint64, state uint8, at sim.T
 		home := pr.homeOf(victim.Tag)
 		atomic.AddInt64(&pr.Writebacks, 1)
 		pr.countMsg(m.P.ID, home, true)
-		from := m.P.ID
-		wbArrive := at + pr.latency(from, home)
-		vb := victim.Tag
-		pr.Eng.Schedule(wbArrive, func() { pr.dirWriteback(home, vb, from, wbArrive) })
+		ev := pr.evPool.get(pr)
+		ev.kind, ev.home, ev.block, ev.id = evWriteback, home, victim.Tag, m.P.ID
+		pr.Eng.ScheduleAction(at+pr.latency(m.P.ID, home), ev)
 		return pr.Cfg.ReplSharedDirty
 	}
 }
@@ -377,10 +389,9 @@ func (pr *Protocol) Evict(m *memsim.Mem, victim memsim.Line, cat stats.Category)
 	home := pr.homeOf(victim.Tag)
 	atomic.AddInt64(&pr.Writebacks, 1)
 	pr.countMsg(p.ID, home, true)
-	from := p.ID
-	arrive := p.Clock() + pr.latency(p.ID, home)
-	block := victim.Tag
-	p.Schedule(arrive, func() { pr.dirWriteback(home, block, from, arrive) })
+	ev := pr.nodes[p.ID].evPool.get(pr)
+	ev.kind, ev.home, ev.block, ev.id = evWriteback, home, victim.Tag, p.ID
+	p.ScheduleAction(p.Clock()+pr.latency(p.ID, home), ev)
 }
 
 // Flush implements memsim.SharedHandler: an explicit software flush. Dirty
@@ -397,16 +408,9 @@ func (pr *Protocol) Flush(m *memsim.Mem, victim memsim.Line, cat stats.Category)
 	p.ChargeStall(cat, pr.Cfg.ReplSharedClean)
 	home := pr.homeOf(victim.Tag)
 	pr.countMsg(p.ID, home, false)
-	from := p.ID
-	arrive := p.Clock() + pr.latency(p.ID, home)
-	block := victim.Tag
-	p.Schedule(arrive, func() {
-		e := pr.entryOf(home, block)
-		// Advisory: ignore if a transaction is mid-flight for the block.
-		if !e.busy && e.state == dirShared {
-			e.sharers.clear(from)
-		}
-	})
+	ev := pr.nodes[p.ID].evPool.get(pr)
+	ev.kind, ev.home, ev.block, ev.id = evFlushHint, home, victim.Tag, p.ID
+	p.ScheduleAction(p.Clock()+pr.latency(p.ID, home), ev)
 }
 
 // Watch registers p to be woken when the block containing addr is

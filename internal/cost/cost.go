@@ -130,6 +130,14 @@ type Config struct {
 	// snapshots (see the serial/parallel determinism tests).
 	Workers int `json:"-"`
 
+	// PerAccessStats switches processor accounts to the per-access reference
+	// charging mode (sim.Engine.PerAccessStats): every Charge/Add applies
+	// directly to the phase table instead of batching into a per-quantum
+	// accumulator. Both modes are bit-identical in every observable — this
+	// switch exists so the equivalence tests can prove it — so like Workers
+	// it is a host-side knob excluded from JSON run specs and snapshots.
+	PerAccessStats bool `json:"-"`
+
 	// OnBuild, when non-nil, is invoked once at the end of machine
 	// construction with the assembled machine (*machine.MPMachine or
 	// *machine.SMMachine), before any simulated cycle runs. It exists so

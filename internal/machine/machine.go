@@ -108,6 +108,7 @@ func NewMP(cfg cost.Config, shape cmmd.Shape, program func(n *MPNode)) *MPMachin
 	c := cfg // one copy shared by all nodes
 	eng := sim.NewEngine(c.NetLatency)
 	eng.Workers = c.Workers
+	eng.PerAccessStats = c.PerAccessStats
 	net := ni.NewNetwork(eng, &c)
 	bar := sim.NewBarrier(eng, c.Procs, c.BarrierLatency)
 	space := memsim.NewAddrSpace(c.Procs, c.BlockBytes)
@@ -230,6 +231,7 @@ func NewSM(cfg cost.Config, policy parmacs.Policy, program func(n *SMNode)) *SMM
 	c := cfg
 	eng := sim.NewEngine(c.NetLatency)
 	eng.Workers = c.Workers
+	eng.PerAccessStats = c.PerAccessStats
 	bar := sim.NewBarrier(eng, c.Procs, c.BarrierLatency)
 	space := memsim.NewAddrSpace(c.Procs, c.BlockBytes)
 	pr := coherence.New(eng, &c)

@@ -27,6 +27,10 @@ import (
 // typed error lets the transport treat it as a normal race.
 var ErrNoPacket = errors.New("ni: no packet available")
 
+// MaxDataWords is the most payload words one packet carries: the 16-byte
+// payload holds at most four 4-byte elements.
+const MaxDataWords = 4
+
 // Packet is one 20-byte network packet: a tag/handler word plus four payload
 // words. DataBytes records how much of the payload is application data (the
 // rest is counted as control, as in the paper's bytes-transmitted split).
@@ -35,10 +39,14 @@ type Packet struct {
 	Tag      int
 	Args     [4]uint64
 
-	// Data carries the payload's application words for delivery to the
-	// receiver's handler (at most PacketPayload bytes' worth). It is
-	// modeling convenience — on the wire the packet is still 20 bytes.
-	Data []uint64
+	// Words carries the payload's application words inline for delivery to
+	// the receiver's handler (at most PacketPayload bytes' worth; NWords are
+	// valid). Inline rather than a slice so a Packet is a pure value: it can
+	// sit in delivery pools and receive queues with no heap payload buffer
+	// and no aliasing of sender memory. Use SetPayload/Payload. On the wire
+	// the packet is still 20 bytes.
+	Words  [MaxDataWords]uint64
+	NWords int
 
 	// DataBytes is the application-data portion of the payload (0..16).
 	DataBytes int
@@ -55,6 +63,17 @@ type Packet struct {
 	// The reliable transport detects it (modeled checksum) and discards.
 	Corrupt bool
 }
+
+// SetPayload copies up to MaxDataWords payload words into the packet.
+func (pkt *Packet) SetPayload(words []uint64) {
+	if len(words) > MaxDataWords {
+		panic(fmt.Sprintf("ni: payload of %d words exceeds %d", len(words), MaxDataWords))
+	}
+	pkt.NWords = copy(pkt.Words[:], words)
+}
+
+// Payload returns the packet's valid payload words.
+func (pkt *Packet) Payload() []uint64 { return pkt.Words[:pkt.NWords] }
 
 // Network is the interconnect: constant latency, no contention, infinite
 // bandwidth (the paper's assumption; Section 4 notes LAPSE models contention
@@ -107,6 +126,12 @@ type NI struct {
 	inq     []Packet // ordered by arrival: deliveries happen in event-time order
 	inqHead int      // consumed prefix (amortized O(1) pops)
 	waiter  bool     // the processor is blocked awaiting a delivery
+
+	// freeDel recycles this interface's outbound delivery events. Owned by
+	// the sender side: the owning processor pops during its processor phase,
+	// the engine pushes back after RunEvent during the serial event phase —
+	// the engine's phase-separation invariant means no lock is needed.
+	freeDel []*delivery
 }
 
 func (ni *NI) qlen() int { return len(ni.inq) - ni.inqHead }
@@ -187,31 +212,57 @@ func (ni *NI) Send(pkt Packet) {
 			atomic.AddInt64(&ni.net.Duplicated, 1)
 			dup := pkt
 			dup.Arrive = p.Clock() + ni.Cfg.NetLatency + d.DupDelay
-			ni.net.deliver(p, dstNI, dup)
+			ni.deliver(dstNI, dup)
 		}
 	}
-	ni.net.deliver(p, dstNI, pkt)
+	ni.deliver(dstNI, pkt)
+}
+
+// delivery is a pooled, closure-free packet-arrival event (sim.Action). It
+// was the single hottest allocation site in message-passing runs — one
+// closure per packet — before pooling; see NI.freeDel for the ownership
+// discipline that lets the pool go lockless.
+type delivery struct {
+	origin *NI // the sender, whose pool this event returns to
+	dst    *NI
+	pkt    Packet
+}
+
+// RunEvent appends the packet to the destination queue, wakes a blocked
+// receiver, and recycles the event. Engine context.
+func (d *delivery) RunEvent(at sim.Time) {
+	dst := d.dst
+	dst.inq = append(dst.inq, d.pkt)
+	d.origin.net.Delivered++
+	if dst.waiter {
+		dst.waiter = false
+		dst.P.Wake(at, nil)
+	}
+	d.dst = nil
+	d.pkt = Packet{}
+	d.origin.freeDel = append(d.origin.freeDel, d)
 }
 
 // deliver stages pkt's arrival at dst on behalf of the sending processor;
 // the delivery itself runs in a later event phase, the only context allowed
 // to touch the destination's queue and wake its processor.
-func (n *Network) deliver(sender *sim.Proc, dst *NI, pkt Packet) {
-	sender.Schedule(pkt.Arrive, func() {
-		dst.inq = append(dst.inq, pkt)
-		n.Delivered++
-		if dst.waiter {
-			dst.waiter = false
-			dst.P.Wake(pkt.Arrive, nil)
-		}
-	})
+func (ni *NI) deliver(dst *NI, pkt Packet) {
+	var d *delivery
+	if n := len(ni.freeDel); n > 0 {
+		d = ni.freeDel[n-1]
+		ni.freeDel = ni.freeDel[:n-1]
+		d.dst, d.pkt = dst, pkt
+	} else {
+		d = &delivery{origin: ni, dst: dst, pkt: pkt}
+	}
+	ni.P.ScheduleAction(pkt.Arrive, d)
 }
 
 // corrupt flips one bit of the 20-byte wire image: bits 0..31 hit the tag
-// word, the rest the payload words. Args is a value copy, so the sender's
-// buffers are untouched; Data (a view of sender memory) is never mutated —
-// a flipped Data bit is represented by the Corrupt flag alone, which is what
-// the transport's checksum sees.
+// word, the rest the payload words. The packet is a value copy, so the
+// sender's buffers are untouched; the inline payload words are not mutated —
+// a flipped payload bit is represented by the Corrupt flag alone, which is
+// what the transport's checksum sees.
 func corrupt(pkt *Packet, bit int) {
 	if bit < 32 {
 		pkt.Tag ^= 1 << (bit % 31)

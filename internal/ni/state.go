@@ -10,7 +10,7 @@ func encodePacket(enc *snapshot.Enc, pkt *Packet) {
 	for _, a := range pkt.Args {
 		enc.U64(a)
 	}
-	enc.U64s(pkt.Data)
+	enc.U64s(pkt.Words[:pkt.NWords])
 	enc.I64(int64(pkt.DataBytes))
 	enc.I64(pkt.Arrive)
 	enc.U64(pkt.Seq)

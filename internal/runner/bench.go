@@ -1,0 +1,47 @@
+package runner
+
+import "repro/internal/cost"
+
+// This file is the single source of run configurations shared by the
+// benchmark suite (bench_test.go, bench_parallel_test.go at the repo root)
+// and the golden replay-equivalence tests: both consume the same Spec
+// values, so a benchmark provably simulates the configuration the
+// correctness tests verified, and vice versa.
+
+// NamedSpec pairs a Spec with a stable name for table-driven harnesses.
+type NamedSpec struct {
+	Name string
+	Spec Spec
+}
+
+// TableProcs is the processor count of every paper-table experiment
+// (Table 1: 32-node machines).
+const TableProcs = 32
+
+// TableSpec returns the full-scale spec behind the paper-table benchmark
+// for app on machine: 32 processors, paper-default problem sizes (Size and
+// Iters zero mean each app's DefaultParams).
+func TableSpec(app, machine string) Spec {
+	return Spec{App: app, Machine: machine, Procs: TableProcs}
+}
+
+// EquivalenceMatrix is the replay-equivalence acceptance surface: every app
+// on every machine at test-sized problems, plus one fault-injected
+// configuration per machine. TestReplayEquivalence, the batched-accounting
+// equivalence test, and the parallel-determinism matrix all iterate it.
+func EquivalenceMatrix() []NamedSpec {
+	return []NamedSpec{
+		{"em3d-mp", Spec{App: "em3d", Machine: "mp", Procs: 4, Size: 40, Iters: 3}},
+		{"em3d-sm", Spec{App: "em3d", Machine: "sm", Procs: 4, Size: 40, Iters: 3}},
+		{"gauss-mp", Spec{App: "gauss", Machine: "mp", Procs: 4, Size: 48}},
+		{"gauss-sm", Spec{App: "gauss", Machine: "sm", Procs: 4, Size: 48}},
+		{"lcp-mp", Spec{App: "lcp", Machine: "mp", Procs: 4, Size: 128, Iters: 3}},
+		{"lcp-sm", Spec{App: "lcp", Machine: "sm", Procs: 4, Size: 128, Iters: 3}},
+		{"mse-mp", Spec{App: "mse", Machine: "mp", Procs: 4, Size: 32, Iters: 2}},
+		{"mse-sm", Spec{App: "mse", Machine: "sm", Procs: 4, Size: 32, Iters: 2}},
+		{"em3d-mp-faults", Spec{App: "em3d", Machine: "mp", Procs: 4, Size: 40, Iters: 3,
+			Faults: &cost.FaultsConfig{Seed: 7, DropRate: 0.02, DupRate: 0.01, DelayRate: 0.05}}},
+		{"gauss-sm-faults", Spec{App: "gauss", Machine: "sm", Procs: 4, Size: 48, SMCheck: true,
+			SMFaults: &cost.SMFaultsConfig{Seed: 7, NACKRate: 0.02, ReorderRate: 0.02}}},
+	}
+}

@@ -17,9 +17,9 @@ import (
 func TestParallelDeterminismMatrix(t *testing.T) {
 	for _, tc := range matrix {
 		tc := tc
-		t.Run(tc.name, func(t *testing.T) {
+		t.Run(tc.Name, func(t *testing.T) {
 			t.Parallel()
-			serial, err := Run(tc.spec, Options{Workers: 1})
+			serial, err := Run(tc.Spec, Options{Workers: 1})
 			if err != nil {
 				t.Fatalf("serial run: %v", err)
 			}
@@ -27,7 +27,7 @@ func TestParallelDeterminismMatrix(t *testing.T) {
 				t.Fatalf("serial run aborted: %v", serial.Res.Err)
 			}
 			for _, workers := range []int{2, 4} {
-				par, err := Run(tc.spec, Options{Workers: workers})
+				par, err := Run(tc.Spec, Options{Workers: workers})
 				if err != nil {
 					t.Fatalf("workers=%d run: %v", workers, err)
 				}
@@ -56,8 +56,8 @@ func TestParallelCheckpointEquivalence(t *testing.T) {
 		var spec Spec
 		found := false
 		for _, tc := range matrix {
-			if tc.name == name {
-				spec, found = tc.spec, true
+			if tc.Name == name {
+				spec, found = tc.Spec, true
 			}
 		}
 		if !found {

@@ -157,6 +157,13 @@ type Options struct {
 	// host knob, deliberately not part of Spec: any value yields the same
 	// fingerprint, so it lives beside the other run-local options.
 	Workers int
+	// PerAccessStats switches cost accounting to the reference per-access
+	// mode (every charge posted to the phase buckets immediately) instead of
+	// the default batched per-quantum accumulators. The two modes are
+	// fingerprint-identical by contract — TestBatchedStatsEquivalence pins
+	// it — so, like Workers, this is a host-side diagnostic knob and not
+	// part of Spec.
+	PerAccessStats bool
 	// Interrupt, when non-nil, arms cooperative preemption: once Fire is
 	// called (from any goroutine — a wall-clock deadline timer, a drain
 	// signal), the run stops at the next quantum boundary, writes a
@@ -286,6 +293,7 @@ func Run(spec Spec, opts Options) (*Outcome, error) {
 
 	cfg := spec.Config()
 	cfg.Workers = opts.Workers
+	cfg.PerAccessStats = opts.PerAccessStats
 	cfg.OnBuild = func(m any) {
 		var eng *sim.Engine
 		var me interface {

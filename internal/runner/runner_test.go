@@ -9,26 +9,10 @@ import (
 	"repro/internal/snapshot"
 )
 
-// matrix is every app on every machine at test-sized problems, plus one
-// fault-injected configuration per machine — the replay-equivalence
-// acceptance surface.
-var matrix = []struct {
-	name string
-	spec Spec
-}{
-	{"em3d-mp", Spec{App: "em3d", Machine: "mp", Procs: 4, Size: 40, Iters: 3}},
-	{"em3d-sm", Spec{App: "em3d", Machine: "sm", Procs: 4, Size: 40, Iters: 3}},
-	{"gauss-mp", Spec{App: "gauss", Machine: "mp", Procs: 4, Size: 48}},
-	{"gauss-sm", Spec{App: "gauss", Machine: "sm", Procs: 4, Size: 48}},
-	{"lcp-mp", Spec{App: "lcp", Machine: "mp", Procs: 4, Size: 128, Iters: 3}},
-	{"lcp-sm", Spec{App: "lcp", Machine: "sm", Procs: 4, Size: 128, Iters: 3}},
-	{"mse-mp", Spec{App: "mse", Machine: "mp", Procs: 4, Size: 32, Iters: 2}},
-	{"mse-sm", Spec{App: "mse", Machine: "sm", Procs: 4, Size: 32, Iters: 2}},
-	{"em3d-mp-faults", Spec{App: "em3d", Machine: "mp", Procs: 4, Size: 40, Iters: 3,
-		Faults: &cost.FaultsConfig{Seed: 7, DropRate: 0.02, DupRate: 0.01, DelayRate: 0.05}}},
-	{"gauss-sm-faults", Spec{App: "gauss", Machine: "sm", Procs: 4, Size: 48, SMCheck: true,
-		SMFaults: &cost.SMFaultsConfig{Seed: 7, NACKRate: 0.02, ReorderRate: 0.02}}},
-}
+// matrix is the shared replay-equivalence acceptance surface (bench.go);
+// the benchmark suite consumes the same specs via TableSpec, so golden
+// tests and benchmarks provably run identical configurations.
+var matrix = EquivalenceMatrix()
 
 // TestReplayEquivalence is the tentpole contract: for every configuration,
 // an uninterrupted run, a run that writes checkpoints, and a run resumed
@@ -38,9 +22,9 @@ var matrix = []struct {
 func TestReplayEquivalence(t *testing.T) {
 	for _, tc := range matrix {
 		tc := tc
-		t.Run(tc.name, func(t *testing.T) {
+		t.Run(tc.Name, func(t *testing.T) {
 			t.Parallel()
-			base, err := Run(tc.spec, Options{})
+			base, err := Run(tc.Spec, Options{})
 			if err != nil {
 				t.Fatalf("base run: %v", err)
 			}
@@ -56,7 +40,7 @@ func TestReplayEquivalence(t *testing.T) {
 				t.Fatalf("run too short to checkpoint (elapsed %d)", base.Res.Elapsed)
 			}
 			dir := t.TempDir()
-			ck, err := Run(tc.spec, Options{CheckpointEvery: every, CheckpointDir: dir})
+			ck, err := Run(tc.Spec, Options{CheckpointEvery: every, CheckpointDir: dir})
 			if err != nil {
 				t.Fatalf("checkpointed run: %v", err)
 			}

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/stats"
@@ -35,6 +34,35 @@ type Barrier struct {
 	// reads race-free without taking mu.
 	epoch   int64 // completed barrier episodes, for tests and sanity checks
 	release Time  // release time of the most recently completed episode
+
+	// freeRel recycles release events (and their waiter buffers) so a
+	// steady state of barrier episodes allocates nothing. Pops happen under
+	// mu in stageRelease; pushes happen in the release event (engine
+	// context), also under mu for visibility.
+	freeRel []*barrierRelease
+}
+
+// barrierRelease is the staged release event for one barrier episode: it
+// wakes the episode's waiters in processor-ID order and publishes the new
+// epoch, then returns itself to the barrier's freelist.
+type barrierRelease struct {
+	b       *Barrier
+	at      Time
+	waiters []*Proc
+}
+
+// RunEvent implements Action.
+func (r *barrierRelease) RunEvent(Time) {
+	b := r.b
+	b.release = r.at
+	b.epoch++
+	for _, q := range r.waiters {
+		q.Wake(r.at, nil)
+	}
+	r.waiters = r.waiters[:0]
+	b.mu.Lock()
+	b.freeRel = append(b.freeRel, r)
+	b.mu.Unlock()
 }
 
 // NewBarrier creates a barrier for n participants with the given release
@@ -107,17 +135,28 @@ func (b *Barrier) WaitService(p *Proc, cat stats.Category, service func()) {
 // arrival, in whichever host order, turned out to be last.
 func (b *Barrier) stageRelease() {
 	release := b.maxArr + b.latency
-	waiters := make([]*Proc, len(b.waiting))
-	copy(waiters, b.waiting)
-	sort.Slice(waiters, func(i, j int) bool { return waiters[i].ID < waiters[j].ID })
+	var r *barrierRelease
+	if n := len(b.freeRel); n > 0 {
+		r = b.freeRel[n-1]
+		b.freeRel = b.freeRel[:n-1]
+	} else {
+		r = &barrierRelease{b: b}
+	}
+	r.at = release
+	r.waiters = append(r.waiters, b.waiting...)
+	// Insertion sort by processor ID: episodes are small (≤ participant
+	// count) and a closure-based sort would allocate per episode.
+	for i := 1; i < len(r.waiters); i++ {
+		q := r.waiters[i]
+		j := i - 1
+		for j >= 0 && r.waiters[j].ID > q.ID {
+			r.waiters[j+1] = r.waiters[j]
+			j--
+		}
+		r.waiters[j+1] = q
+	}
 	b.waiting = b.waiting[:0]
 	b.polling = 0
 	b.maxArr = 0
-	b.stager.Schedule(release, func() {
-		b.release = release
-		b.epoch++
-		for _, q := range waiters {
-			q.Wake(release, nil)
-		}
-	})
+	b.stager.ScheduleAction(release, r)
 }

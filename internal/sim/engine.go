@@ -32,13 +32,28 @@ type Time = int64
 // Event is a timestamped action processed by the engine in (time, sequence)
 // order. Handlers run outside any processor context; they typically deliver
 // messages, run directory/cache controller work, and wake blocked
-// processors.
+// processors. An event carries either a closure (Fn) or an Action (act);
+// hot paths use Actions backed by subsystem freelists so steady-state
+// event traffic allocates nothing.
 type Event struct {
-	At Time
-	Fn func()
+	At  Time
+	Fn  func()
+	act Action
 
 	seq   uint64
 	index int
+}
+
+// Action is a closure-free event body: a reusable, typically pooled object
+// whose RunEvent method the engine invokes in the event phase. Subsystems
+// that raise millions of events (packet delivery, directory transactions)
+// implement Action on freelisted structs instead of capturing closures,
+// which is what keeps the steady-state hot paths allocation-free. RunEvent
+// runs in engine context, exactly like an Event.Fn closure; the receiving
+// subsystem owns recycling (the engine never retains the Action after the
+// call returns).
+type Action interface {
+	RunEvent(at Time)
 }
 
 // stagedEvent is an event a processor raised during the processor phase,
@@ -47,8 +62,9 @@ type Event struct {
 // numbers — and therefore same-time tie-breaks — do not depend on how the
 // host scheduled the workers.
 type stagedEvent struct {
-	at Time
-	fn func()
+	at  Time
+	fn  func()
+	act Action
 }
 
 // Engine coordinates processors and events.
@@ -62,6 +78,13 @@ type Engine struct {
 	// throughput knob, never a model parameter, so it is deliberately not
 	// part of runner.Spec or the snapshot format.
 	Workers int
+
+	// PerAccessStats, when set before AddProc, creates processor accounts
+	// in the per-access reference charging mode instead of the batched
+	// default (see stats.Acct.PerAccess). A host-side observability knob
+	// for the equivalence tests: both modes produce bit-identical stats,
+	// so like Workers it is not a model parameter.
+	PerAccessStats bool
 
 	now    Time // start of the current quantum
 	qEnd   Time // end of the current quantum
@@ -133,20 +156,30 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) QuantumEnd() Time { return e.qEnd }
 
 // alloc returns a recycled (or fresh) event.
-func (e *Engine) alloc(at Time, fn func(), seq uint64) *Event {
+func (e *Engine) alloc(at Time, fn func(), act Action, seq uint64) *Event {
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
 		e.free = e.free[:n-1]
-		ev.At, ev.Fn, ev.seq = at, fn, seq
+		ev.At, ev.Fn, ev.act, ev.seq = at, fn, act, seq
 		return ev
 	}
-	return &Event{At: at, Fn: fn, seq: seq}
+	return &Event{At: at, Fn: fn, act: act, seq: seq}
 }
 
 // release returns a popped event to the free list.
 func (e *Engine) release(ev *Event) {
 	ev.Fn = nil
+	ev.act = nil
 	e.free = append(e.free, ev)
+}
+
+// run executes the event's body: the Action if present, else the closure.
+func (ev *Event) run() {
+	if ev.act != nil {
+		ev.act.RunEvent(ev.At)
+	} else {
+		ev.Fn()
+	}
 }
 
 // Schedule enqueues an event at absolute time at. Events scheduled for the
@@ -163,7 +196,17 @@ func (e *Engine) Schedule(at Time, fn func()) {
 		panic("sim: Engine.Schedule from processor context; use Proc.Schedule")
 	}
 	e.seq++
-	heap.Push(&e.events, e.alloc(at, fn, e.seq))
+	heap.Push(&e.events, e.alloc(at, fn, nil, e.seq))
+}
+
+// ScheduleAction is Schedule for a closure-free Action body. Same engine-
+// context restriction; processor-context code uses Proc.ScheduleAction.
+func (e *Engine) ScheduleAction(at Time, act Action) {
+	if e.inProcPhase {
+		panic("sim: Engine.ScheduleAction from processor context; use Proc.ScheduleAction")
+	}
+	e.seq++
+	heap.Push(&e.events, e.alloc(at, nil, act, e.seq))
 }
 
 // Stager is an auxiliary event-staging context for objects shared by many
@@ -190,6 +233,11 @@ func (s *Stager) Schedule(at Time, fn func()) {
 	s.staged = append(s.staged, stagedEvent{at: at, fn: fn})
 }
 
+// ScheduleAction stages a closure-free Action for the quantum-boundary merge.
+func (s *Stager) ScheduleAction(at Time, act Action) {
+	s.staged = append(s.staged, stagedEvent{at: at, act: act})
+}
+
 // AddProc registers a new processor whose body is fn. Must be called before
 // Run. Processors are created with ID = registration order.
 func (e *Engine) AddProc(fn func(p *Proc)) *Proc {
@@ -199,7 +247,7 @@ func (e *Engine) AddProc(fn func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
 		body:   fn,
-		Acct:   &stats.Acct{},
+		Acct:   &stats.Acct{PerAccess: e.PerAccessStats},
 	}
 	p.missCat = stats.LocalMiss
 	p.missCnt = stats.CntLocalMisses
@@ -240,6 +288,13 @@ func (e *Engine) Run() error {
 		if e.MaxTime > 0 && e.now > e.MaxTime {
 			e.overtime()
 		}
+		// Fold batched cost charges into the stats accounts at the quantum
+		// boundary, before publishers, hooks, and state encoders observe
+		// them. Every observer therefore sees totals bit-identical to
+		// per-access charging; only the store traffic in between differs.
+		for _, p := range e.procs {
+			p.Acct.Flush()
+		}
 		for _, pub := range e.publishers {
 			pub(e.now)
 		}
@@ -264,7 +319,7 @@ func (e *Engine) Run() error {
 		// Event phase: handle everything due before the quantum ends.
 		for len(e.events) > 0 && e.events[0].At < e.qEnd {
 			ev := heap.Pop(&e.events).(*Event)
-			ev.Fn()
+			ev.run()
 			e.release(ev)
 		}
 
@@ -309,7 +364,7 @@ func (e *Engine) Run() error {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*Event)
 		e.now = ev.At
-		ev.Fn()
+		ev.run()
 		e.release(ev)
 	}
 	return nil
@@ -365,8 +420,9 @@ func (e *Engine) settleBatch(batch []*Proc) {
 		for i := range p.staged {
 			se := &p.staged[i]
 			e.seq++
-			heap.Push(&e.events, e.alloc(se.at, se.fn, e.seq))
+			heap.Push(&e.events, e.alloc(se.at, se.fn, se.act, e.seq))
 			se.fn = nil
+			se.act = nil
 		}
 		p.staged = p.staged[:0]
 	}
@@ -374,8 +430,9 @@ func (e *Engine) settleBatch(batch []*Proc) {
 		for i := range s.staged {
 			se := &s.staged[i]
 			e.seq++
-			heap.Push(&e.events, e.alloc(se.at, se.fn, e.seq))
+			heap.Push(&e.events, e.alloc(se.at, se.fn, se.act, e.seq))
 			se.fn = nil
+			se.act = nil
 		}
 		s.staged = s.staged[:0]
 	}

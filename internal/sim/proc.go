@@ -37,6 +37,8 @@ type Proc struct {
 	blockCat    stats.Category
 	wakeAt      Time
 	wakeData    any
+	wakeA       int64 // typed wake payload (WakeVals/BlockVals): no boxing
+	wakeB       int64
 	diag        func() string // optional library diagnostic for stall reports
 
 	staged  []stagedEvent // events raised this quantum, merged at the boundary
@@ -129,6 +131,13 @@ func (p *Proc) Schedule(at Time, fn func()) {
 	p.staged = append(p.staged, stagedEvent{at: at, fn: fn})
 }
 
+// ScheduleAction stages a closure-free Action at absolute time at; identical
+// merge semantics to Schedule. Hot paths pair this with subsystem freelists
+// so raising an event allocates nothing.
+func (p *Proc) ScheduleAction(at Time, act Action) {
+	p.staged = append(p.staged, stagedEvent{at: at, act: act})
+}
+
 // SetDiagnostic registers fn to render this processor's library-level state
 // (e.g. unacked transport sequence numbers) in engine stall reports.
 func (p *Proc) SetDiagnostic(fn func() string) { p.diag = fn }
@@ -213,6 +222,27 @@ func (p *Proc) Block(cat stats.Category, reason string) any {
 	return d
 }
 
+// BlockVals is Block for wakers that deliver two int64 values via WakeVals
+// instead of an interface payload. The typed channel avoids boxing the
+// payload into an `any` on every wake — one heap allocation per miss on the
+// coherence fast path. Mixing the two forms on one block/wake pair is a
+// programming error (WakeVals leaves wakeData nil; Wake leaves wakeA/B zero).
+func (p *Proc) BlockVals(cat stats.Category, reason string) (int64, int64) {
+	p.blocked = true
+	p.blockReason = reason
+	p.blockStart = p.clock
+	p.blockCat = cat
+	p.yieldToEngine()
+	if p.wakeAt > p.blockStart {
+		p.Acct.Charge(cat, p.wakeAt-p.blockStart)
+		p.clock = p.wakeAt
+	}
+	a, b := p.wakeA, p.wakeB
+	p.wakeA, p.wakeB = 0, 0
+	p.wakeData = nil
+	return a, b
+}
+
 // Wake unblocks a processor at absolute time at, delivering data to the
 // Block call. Must be called from engine context — an event handler, never
 // the processor phase (processor-context code that needs to wake a peer
@@ -232,6 +262,29 @@ func (p *Proc) Wake(at Time, data any) {
 	p.blockReason = ""
 	p.wakeAt = at
 	p.wakeData = data
+	if p.clock < at {
+		p.clock = at
+	}
+	heap.Push(&p.eng.runnable, p)
+}
+
+// WakeVals unblocks a processor at absolute time at, delivering two int64
+// values to a matching BlockVals call without boxing. Same engine-context
+// restriction and semantics as Wake.
+func (p *Proc) WakeVals(at Time, a, b int64) {
+	if p.eng.inProcPhase {
+		panic(fmt.Sprintf("sim: waking proc %d from processor context; stage the wake via Proc.Schedule", p.ID))
+	}
+	if !p.blocked {
+		panic(fmt.Sprintf("sim: waking proc %d which is not blocked", p.ID))
+	}
+	if at < p.blockStart {
+		at = p.blockStart
+	}
+	p.blocked = false
+	p.blockReason = ""
+	p.wakeAt = at
+	p.wakeA, p.wakeB = a, b
 	if p.clock < at {
 		p.clock = at
 	}

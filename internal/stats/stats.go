@@ -9,6 +9,7 @@ package stats
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/snapshot"
 )
@@ -173,9 +174,30 @@ const PhaseDefault Phase = 0
 
 // Acct accumulates cycles and event counts for one processor, bucketed by
 // phase. The zero value has a single default phase.
+//
+// Charges are batched WWT-style: Charge/Add accumulate into a small pending
+// bucket belonging to the current phase, and Flush folds the pending totals
+// into the phase table. The engine flushes every processor's account at each
+// quantum boundary (before publishers, hooks, and state encoders run), and
+// every read (Cycles, Counts, EncodeState, ...) flushes lazily first, so
+// observers always see totals bit-identical to per-access charging — only
+// the store traffic between observations changes. Dirty bitmasks keep the
+// flush cost proportional to the categories actually touched, not the table
+// width.
 type Acct struct {
 	phases []bucket
 	cur    Phase
+
+	// PerAccess, when true, disables batching: every Charge/Add applies
+	// directly to the phase table, as the pre-batching implementation did.
+	// This is the reference mode the equivalence tests compare against.
+	// Set at construction (cost.Config.PerAccessStats); flipping it
+	// mid-run is a programming error.
+	PerAccess bool
+
+	pend    bucket // pending charges for phase cur, not yet folded in
+	cyMask  uint32 // bit c set ⇒ pend.cycles[c] is nonzero
+	cntMask uint32 // bit c set ⇒ pend.counts[c] is nonzero
 }
 
 type bucket struct {
@@ -184,11 +206,13 @@ type bucket struct {
 }
 
 // SetPhase switches subsequent charges to the given phase, growing the
-// phase table as needed.
+// phase table as needed. Pending charges belong to the phase they were made
+// in, so the switch flushes first.
 func (a *Acct) SetPhase(p Phase) {
 	if p < 0 {
 		panic("stats: negative phase")
 	}
+	a.Flush()
 	a.ensure(p)
 	a.cur = p
 }
@@ -207,19 +231,54 @@ func (a *Acct) Charge(c Category, cycles int64) {
 	if cycles < 0 {
 		panic(fmt.Sprintf("stats: negative charge %d to %v", cycles, c))
 	}
-	a.ensure(a.cur)
-	a.phases[a.cur].cycles[c] += cycles
+	if a.PerAccess {
+		a.ensure(a.cur)
+		a.phases[a.cur].cycles[c] += cycles
+		return
+	}
+	a.pend.cycles[c] += cycles
+	a.cyMask |= 1 << uint(c)
 }
 
 // Add increments a count in the current phase.
 func (a *Acct) Add(c Count, n int64) {
+	if a.PerAccess {
+		a.ensure(a.cur)
+		a.phases[a.cur].counts[c] += n
+		return
+	}
+	a.pend.counts[c] += n
+	a.cntMask |= 1 << uint(c)
+}
+
+// Flush folds the pending batched charges into the current phase's bucket.
+// Idempotent and cheap when nothing is pending (two mask tests). The engine
+// calls this for every processor at each quantum boundary; reads call it
+// lazily. Only the account's owner may call it: the processor itself during
+// the processor phase, or the engine while no processor is executing.
+func (a *Acct) Flush() {
+	if a.cyMask == 0 && a.cntMask == 0 {
+		return
+	}
 	a.ensure(a.cur)
-	a.phases[a.cur].counts[c] += n
+	b := &a.phases[a.cur]
+	for m := a.cyMask; m != 0; m &= m - 1 {
+		c := bits.TrailingZeros32(m)
+		b.cycles[c] += a.pend.cycles[c]
+		a.pend.cycles[c] = 0
+	}
+	for m := a.cntMask; m != 0; m &= m - 1 {
+		c := bits.TrailingZeros32(m)
+		b.counts[c] += a.pend.counts[c]
+		a.pend.counts[c] = 0
+	}
+	a.cyMask, a.cntMask = 0, 0
 }
 
 // Cycles returns the cycles charged to a category in a phase. Phases beyond
 // those used return zero.
 func (a *Acct) Cycles(p Phase, c Category) int64 {
+	a.Flush()
 	if int(p) >= len(a.phases) {
 		return 0
 	}
@@ -228,6 +287,7 @@ func (a *Acct) Cycles(p Phase, c Category) int64 {
 
 // Counts returns the tally of a count in a phase.
 func (a *Acct) Counts(p Phase, c Count) int64 {
+	a.Flush()
 	if int(p) >= len(a.phases) {
 		return 0
 	}
@@ -236,6 +296,7 @@ func (a *Acct) Counts(p Phase, c Count) int64 {
 
 // NumPhases returns the number of phases that have been used.
 func (a *Acct) NumPhases() int {
+	a.Flush()
 	if len(a.phases) == 0 {
 		return 1
 	}
@@ -256,6 +317,7 @@ func (a *Acct) TotalCycles(p Phase) int64 {
 // image. Raw int64s, not the float per-processor averages the reports
 // print, so equality is exact bit equality.
 func (a *Acct) EncodeState(enc *snapshot.Enc) {
+	a.Flush()
 	enc.Section("acct", func(enc *snapshot.Enc) {
 		enc.I64(int64(a.cur))
 		enc.U32(uint32(len(a.phases)))

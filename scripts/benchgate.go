@@ -1,0 +1,113 @@
+// Command benchgate compares allocs/op from a `go test -bench -benchmem`
+// output file against checked-in per-benchmark allocation budgets and
+// fails (exit 1) on any overrun. It is the CI allocation gate for the
+// table-suite benchmarks: the budgets in scripts/bench_budgets.json carry
+// generous headroom over the measured steady state (roughly 2x) so host
+// noise never trips them, while an accidental re-introduction of
+// per-event or per-packet allocation — typically a 10-100x jump —
+// fails loudly.
+//
+// Usage:
+//
+//	go test -run xxx -bench 'BenchmarkTable' -benchmem -benchtime 1x . | tee bench.txt
+//	go run ./scripts -bench bench.txt -budgets scripts/bench_budgets.json
+//
+// A budgeted benchmark missing from the output is an error too: a gate
+// that silently stops running is a gate that silently stops gating.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one result line of `go test -bench -benchmem` output,
+// e.g. "BenchmarkTable04_MSE_MP-4  1  20472597240 ns/op ... 6303 allocs/op".
+// The trailing -N is the GOMAXPROCS suffix and is stripped so budgets are
+// host-independent.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+.*?\s(\d+)\s+allocs/op`)
+
+func main() {
+	benchPath := flag.String("bench", "", "path to `go test -bench -benchmem` output")
+	budgetPath := flag.String("budgets", "scripts/bench_budgets.json", "path to allocation budgets JSON")
+	flag.Parse()
+	if *benchPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -bench output file required")
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(*budgetPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	var budgets map[string]int64
+	if err := json.Unmarshal(raw, &budgets); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parse %s: %v\n", *budgetPath, err)
+		os.Exit(2)
+	}
+
+	measured, err := parseBench(*benchPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(budgets))
+	for name := range budgets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		budget := budgets[name]
+		got, ok := measured[name]
+		switch {
+		case !ok:
+			fmt.Printf("MISSING  %-40s budget %d, not in bench output\n", name, budget)
+			failed = true
+		case got > budget:
+			fmt.Printf("OVER     %-40s %d allocs/op, budget %d\n", name, got, budget)
+			failed = true
+		default:
+			fmt.Printf("ok       %-40s %d allocs/op (budget %d)\n", name, got, budget)
+		}
+	}
+	if failed {
+		fmt.Println("benchgate: FAIL — allocation budget exceeded or gated benchmark missing")
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: all %d gated benchmarks within budget\n", len(names))
+}
+
+// parseBench extracts {benchmark name -> allocs/op} from bench output.
+// Sub-benchmarks keep their /sub path; the GOMAXPROCS suffix is dropped.
+func parseBench(path string) (map[string]int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]int64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %v", sc.Text(), err)
+		}
+		out[m[1]] = n
+	}
+	return out, sc.Err()
+}
