@@ -89,6 +89,7 @@ func main() {
 	resume := flag.String("resume", "", "resume (replay + verify) from a snapshot file")
 	runUntil := flag.Int64("run-until", 0, "stop cleanly at the first quantum boundary at or after this cycle (0 = off)")
 	workers := flag.Int("workers", 0, "host worker pool for the processor phase (0 = GOMAXPROCS, 1 = serial); fingerprint-neutral")
+	hwCombining := flag.Bool("hw-combining", false, "ablation: in-network hardware combining tree for reductions")
 	flag.Parse()
 
 	for _, r := range []struct {
@@ -134,6 +135,7 @@ func main() {
 			CacheBytes: *cache, Shape: *shapeStr, Policy: *policy,
 			Size: *size, Iters: *iters,
 			SMCheck: *smCheck, SMWatchdog: *watchdog,
+			HWCombining: *hwCombining,
 		}
 		if *faultsOn || *dropRate > 0 || *dupRate > 0 || *corruptRate > 0 || *jitter > 0 {
 			if *mach != "mp" {

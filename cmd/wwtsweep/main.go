@@ -119,6 +119,7 @@ func main() {
 	procs := flag.Int("procs", 32, "processor count for flag-built runs")
 	size := flag.Int("size", 0, "problem size override (app-specific)")
 	iters := flag.Int("iters", 0, "iteration override")
+	hwCombining := flag.Bool("hw-combining", false, "ablation: in-network hardware combining tree for reductions (flag-built runs)")
 	dropRates := flag.String("droprates", "", "comma-separated network drop rates (mp machines)")
 	nackRates := flag.String("nackrates", "", "comma-separated directory NACK rates (sm machines)")
 	seeds := flag.String("seeds", "1", "comma-separated fault seeds (fault-injected runs only)")
@@ -138,7 +139,7 @@ func main() {
 	if *matrixFile != "" {
 		specs, err = loadMatrix(*matrixFile)
 	} else {
-		specs, err = crossProduct(*apps, *machines, *procs, *size, *iters, *dropRates, *nackRates, *seeds)
+		specs, err = crossProduct(*apps, *machines, *procs, *size, *iters, *hwCombining, *dropRates, *nackRates, *seeds)
 	}
 	if err != nil {
 		fatal("%v", err)
@@ -315,7 +316,7 @@ func loadMatrix(path string) ([]runner.Spec, error) {
 // crossProduct expands the flag form: apps × machines × (fault rates for
 // the matching machine) × seeds. Rate 0 yields one fault-free run (seeds do
 // not multiply a run with no randomness).
-func crossProduct(apps, machines string, procs, size, iters int, dropRates, nackRates, seeds string) ([]runner.Spec, error) {
+func crossProduct(apps, machines string, procs, size, iters int, hwCombining bool, dropRates, nackRates, seeds string) ([]runner.Spec, error) {
 	if apps == "" || machines == "" {
 		return nil, fmt.Errorf("flag form needs -apps and -machines (or use -matrix)")
 	}
@@ -357,6 +358,7 @@ func crossProduct(apps, machines string, procs, size, iters int, dropRates, nack
 					sp := runner.Spec{
 						App: app, Machine: mach, Procs: procs,
 						Size: size, Iters: iters,
+						HWCombining: hwCombining,
 					}
 					if rate > 0 {
 						switch mach {

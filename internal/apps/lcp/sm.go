@@ -49,7 +49,7 @@ func runSM(cfg cost.Config, par Params, async bool) *Output {
 
 		if me == 0 {
 			zg = nd.RT.GMallocF(0, par.N)
-			stale = memsim.NewStaleVec(&zg, procs)
+			stale = memsim.NewStaleVec(nd.P.Engine(), &zg, procs)
 			done = nd.RT.GMallocI(0, 1)
 			red = parmacs.NewReduction(nd.RT)
 			nd.RT.Create(nd.P)

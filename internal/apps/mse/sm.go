@@ -22,7 +22,10 @@ func RunSM(cfg cost.Config, par Params) *Output {
 	bpp := par.Bodies / procs
 	m := par.Elems
 
-	var xg memsim.FVec // the global solution vector
+	var (
+		xg   memsim.FVec // the global solution vector
+		xmir *memsim.MirrorVec
+	)
 
 	out.Res = machine.RunSM(cfg, parmacs.RoundRobin, func(nd *machine.SMNode) {
 		me := nd.ID
@@ -32,6 +35,7 @@ func RunSM(cfg cost.Config, par Params) *Output {
 			// Serial initialization on processor 0 (geometry, self terms,
 			// schedules) while the other processors sit idle.
 			xg = nd.RT.GMallocF(0, nm)
+			xmir = memsim.NewMirror(nd.P.Engine(), &xg)
 			nd.Compute(serialInitCycles(nm))
 			nd.RT.Create(nd.P)
 		} else {
@@ -62,7 +66,10 @@ func RunSM(cfg cost.Config, par Params) *Output {
 				}
 				xg.ReadRange(mem, q*epp, (q+1)*epp)
 				xsnap.WriteRange(mem, q*epp, (q+1)*epp)
-				copy(xsnap.V[q*epp:(q+1)*epp], xg.V[q*epp:(q+1)*epp])
+				// Copy the quantum-boundary image, not the live backing:
+				// q may be mid-publish this quantum, and which of its
+				// writes have landed must not depend on worker schedule.
+				copy(xsnap.V[q*epp:(q+1)*epp], xmir.V[q*epp:(q+1)*epp])
 				nd.Compute(cSchedule)
 			}
 

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/cost"
 	"repro/internal/memsim"
 	"repro/internal/ni"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -89,6 +91,12 @@ type Comm struct {
 	ep    *Endpoint
 	Shape Shape
 
+	// HW, when non-nil, routes reductions through an in-network hardware
+	// combining tree (the cost.Config.HWCombining ablation) instead of the
+	// software tree ascent. Broadcasts still use the software trees — the
+	// ablation isolates reduction cost only.
+	HW *sim.Combiner
+
 	hUp, hDown, hVec int
 
 	redSeq, bcSeq, vecSeq int64
@@ -115,6 +123,16 @@ type bcState struct {
 type vecState struct {
 	words []uint64
 	got   int
+}
+
+// NewCombiner constructs the shared hardware combining tree for the
+// HWCombining ablation, folding contributions with the cmmd operator set.
+// One combiner serves every node; wire it into each Comm's HW field.
+func NewCombiner(eng *sim.Engine, cfg *cost.Config) *sim.Combiner {
+	return sim.NewCombiner(eng, cfg.Procs, cfg.CombiningLatency,
+		func(op uint8, v1 float64, i1 int64, v2 float64, i2 int64) (float64, int64) {
+			return combine(ReduceOp(op), v1, i1, v2, i2)
+		})
 }
 
 // NewComm creates the collective layer with the given tree shape. Must be
@@ -265,6 +283,18 @@ func (c *Comm) Reduce(root int, val float64, idx int64, op ReduceOp) (float64, i
 	ep := c.ep
 	p := ep.P
 	p.Interact()
+	if c.HW != nil {
+		// Hardware-combining ablation: deposit the contribution at the
+		// network port and stall until the combined result returns, a fixed
+		// latency after the last depositor. No tree ascent, no per-hop
+		// send/receive overhead.
+		p.ChargeStall(stats.NetAccess, ep.Cfg.NIWriteTagDest+ep.Cfg.NISendCycles)
+		v, i := c.HW.Wait(p, stats.LibComp, uint8(op), val, idx)
+		if ep.Self == root {
+			return v, i
+		}
+		return 0, 0
+	}
 	p.ChargeStall(stats.LibComp, ep.Cfg.CollectiveEntry)
 	seq := c.redSeq
 	c.redSeq++

@@ -188,10 +188,13 @@ type entry struct {
 	settleUntil sim.Time
 
 	// hist is a bounded ring of the block's recent protocol transitions,
-	// recorded only when forensics are on (checker, watchdog, or fault
-	// injection armed); invariant violations and stall reports replay it.
-	hist  [histLen]histRec
-	histN int
+	// allocated lazily on first record and therefore only when forensics
+	// are on (checker, watchdog, or fault injection armed); invariant
+	// violations and stall reports replay it. Keeping it behind a pointer
+	// instead of inline shrinks every directory entry by ~200 bytes in the
+	// common forensics-off run — at P=1024 the directory dominates the
+	// simulator's footprint, so entries must only pay for what they use.
+	hist *histRing
 }
 
 // histLen bounds the per-entry transition ring: enough to replay a full
@@ -204,15 +207,34 @@ type histRec struct {
 	ev string
 }
 
+// histRing is the out-of-line forensics ring: recs is a circular buffer,
+// n counts every record ever made (so n may exceed histLen).
+type histRing struct {
+	recs [histLen]histRec
+	n    int
+}
+
+// histCount returns how many transitions were ever recorded (0 when
+// forensics never touched this entry).
+func (e *entry) histCount() int {
+	if e.hist == nil {
+		return 0
+	}
+	return e.hist.n
+}
+
 // history renders the ring oldest-first.
 func (e *entry) history() []string {
+	if e.hist == nil {
+		return nil
+	}
 	var out []string
 	start := 0
-	if e.histN > histLen {
-		start = e.histN - histLen
+	if e.hist.n > histLen {
+		start = e.hist.n - histLen
 	}
-	for i := start; i < e.histN; i++ {
-		r := e.hist[i%histLen]
+	for i := start; i < e.hist.n; i++ {
+		r := e.hist.recs[i%histLen]
 		out = append(out, fmt.Sprintf("@%d %s", r.at, r.ev))
 	}
 	return out

@@ -201,8 +201,11 @@ func (pr *Protocol) record(e *entry, at sim.Time, format string, args ...any) {
 	if !pr.forensics {
 		return
 	}
-	e.hist[e.histN%histLen] = histRec{at: at, ev: fmt.Sprintf(format, args...)}
-	e.histN++
+	if e.hist == nil {
+		e.hist = &histRing{}
+	}
+	e.hist.recs[e.hist.n%histLen] = histRec{at: at, ev: fmt.Sprintf(format, args...)}
+	e.hist.n++
 }
 
 // note updates node id's last-protocol-action forensics line.

@@ -128,7 +128,7 @@ func encodeEntry(enc *snapshot.Enc, e *entry, forensics bool) {
 	}
 
 	if forensics {
-		enc.I64(int64(e.histN))
+		enc.I64(int64(e.histCount()))
 		for _, h := range e.history() {
 			enc.Str(h)
 		}

@@ -78,6 +78,25 @@ type Config struct {
 	SMMsgBytes        int   // shared-memory message size (40: block + control)
 	SMMsgControlBytes int   // control portion of a block-carrying message (8)
 
+	// --- In-network combining ablation (extension; the paper's machines
+	// deliberately omit reduction/broadcast hardware, §4) ---
+
+	// HWCombining, when true, gives both machines an in-network combining
+	// tree (NYU Ultracomputer / CM-5 control-network style): reductions
+	// deposit a contribution at the network port and receive the combined
+	// result CombiningLatency cycles after the last contributor, instead of
+	// ascending the software reduction trees. The ablation measures how
+	// much of the software reduction time (Gauss's "Reductions" row and the
+	// MP library's collective time) hardware combining would reclaim at
+	// large P. Off (the default) leaves runs bit-identical to the seed.
+	HWCombining bool
+
+	// CombiningLatency is the combined-result delivery latency from the
+	// last contribution, in cycles. Like the hardware barrier, delivery is
+	// a fixed latency from the last arrival (100 by default, matching
+	// BarrierLatency: the same control-network style mechanism).
+	CombiningLatency int64
+
 	// --- Fault injection and reliable transport (extension; not in the
 	// paper, whose CM-5 network is lossless) ---
 
@@ -300,6 +319,8 @@ func Default(procs int) Config {
 		CMMDPerPacket:    42,
 		CollectiveEntry:  80,
 
+		CombiningLatency: 100,
+
 		MsgToSelf:         10,
 		SharedMissCycles:  19,
 		InvalidateCycles:  3,
@@ -375,6 +396,9 @@ func (c *Config) Validate() error {
 	}
 	if c.SMWatchdog < 0 {
 		return errf("sm watchdog window must be non-negative")
+	}
+	if c.HWCombining && c.CombiningLatency <= 0 {
+		return errf("hw combining needs a positive combining latency")
 	}
 	return nil
 }

@@ -97,6 +97,9 @@ type MPMachine struct {
 	Net   *ni.Network
 	Bar   *sim.Barrier
 	Nodes []*MPNode
+	// Comb is the in-network hardware combining tree, non-nil only under the
+	// cost.Config.HWCombining ablation.
+	Comb *sim.Combiner
 }
 
 // NewMP builds a message-passing machine with the given collective tree
@@ -126,6 +129,9 @@ func NewMP(cfg cost.Config, shape cmmd.Shape, program func(n *MPNode)) *MPMachin
 	}
 
 	m := &MPMachine{Eng: eng, Net: net, Bar: bar}
+	if c.HWCombining {
+		m.Comb = cmmd.NewCombiner(eng, &c)
+	}
 	m.Nodes = make([]*MPNode, c.Procs)
 	for i := 0; i < c.Procs; i++ {
 		i := i
@@ -143,6 +149,7 @@ func NewMP(cfg cost.Config, shape cmmd.Shape, program func(n *MPNode)) *MPMachin
 		}
 		ep := cmmd.NewEndpoint(i, c.Procs, a, mem, bar)
 		comm := cmmd.NewComm(ep, shape)
+		comm.HW = m.Comb
 		m.Nodes[i] = &MPNode{
 			ID: i, P: p, Mem: mem, NI: nif, AM: a, EP: ep, Comm: comm,
 			Cfg: &c, Space: space, Procs: c.Procs,

@@ -36,6 +36,30 @@ type Line struct {
 	State uint8
 }
 
+// A line is stored packed in one word: block number in the upper 62 bits,
+// state in the low 2. Padding made the two-field Line struct 16 bytes, so
+// packing halves every tag table — 64 KB per simulated processor at the
+// paper's 256 KB/4-way/32 B geometry, which at P=1024 is the difference
+// between the tag state fitting in cache-friendly memory or not. A packed
+// word of 0 is exactly an Invalid line (state bits 00), so zeroed storage
+// needs no initialization.
+type packedLine uint64
+
+func packLine(block uint64, state uint8) packedLine {
+	return packedLine(block<<2 | uint64(state))
+}
+
+func (l packedLine) block() uint64 { return uint64(l) >> 2 }
+func (l packedLine) state() uint8  { return uint8(l & 3) }
+func (l packedLine) valid() bool   { return l&3 != 0 }
+
+func (l packedLine) unpack() Line {
+	if !l.valid() {
+		return Line{}
+	}
+	return Line{Tag: l.block(), State: l.state()}
+}
+
 // Cache is an n-way set-associative cache with random replacement (Table 1:
 // 256 KB, 4-way, 32-byte blocks, random replacement). Victim selection draws
 // from a deterministic per-cache RNG.
@@ -44,7 +68,7 @@ type Cache struct {
 	sets       int
 	blockShift uint
 	setMask    uint64
-	lines      []Line
+	lines      []packedLine
 	rng        *sim.RNG
 
 	// SharedDirtyIsShared: under the coherence protocol, blocks in the
@@ -70,7 +94,7 @@ func NewCache(capacityBytes, assoc, blockBytes int, rng *sim.RNG) *Cache {
 		sets:       sets,
 		blockShift: bs,
 		setMask:    uint64(sets - 1),
-		lines:      make([]Line, sets*assoc),
+		lines:      make([]packedLine, sets*assoc),
 		rng:        rng,
 	}
 }
@@ -81,16 +105,17 @@ func (c *Cache) BlockShift() uint { return c.blockShift }
 // BlockOf returns the block number containing addr.
 func (c *Cache) BlockOf(addr uint64) uint64 { return addr >> c.blockShift }
 
-func (c *Cache) set(block uint64) []Line {
+func (c *Cache) set(block uint64) []packedLine {
 	s := int(block & c.setMask)
 	return c.lines[s*c.assoc : (s+1)*c.assoc]
 }
 
 // Lookup returns the state of block in the cache (Invalid if absent).
 func (c *Cache) Lookup(block uint64) uint8 {
+	want := block << 2
 	for _, l := range c.set(block) {
-		if l.State != Invalid && l.Tag == block {
-			return l.State
+		if l.valid() && uint64(l)&^3 == want {
+			return l.state()
 		}
 	}
 	return Invalid
@@ -101,11 +126,11 @@ func (c *Cache) Lookup(block uint64) uint8 {
 func (c *Cache) SetState(block uint64, state uint8) {
 	ws := c.set(block)
 	for i := range ws {
-		if ws[i].State != Invalid && ws[i].Tag == block {
+		if ws[i].valid() && ws[i].block() == block {
 			if state == Invalid {
-				ws[i] = Line{}
+				ws[i] = 0
 			} else {
-				ws[i].State = state
+				ws[i] = packLine(block, state)
 			}
 			return
 		}
@@ -119,9 +144,9 @@ func (c *Cache) SetState(block uint64, state uint8) {
 func (c *Cache) Invalidate(block uint64) uint8 {
 	ws := c.set(block)
 	for i := range ws {
-		if ws[i].State != Invalid && ws[i].Tag == block {
-			st := ws[i].State
-			ws[i] = Line{}
+		if ws[i].valid() && ws[i].block() == block {
+			st := ws[i].state()
+			ws[i] = 0
 			return st
 		}
 	}
@@ -134,19 +159,19 @@ func (c *Cache) Invalidate(block uint64) uint8 {
 func (c *Cache) Insert(block uint64, state uint8) Line {
 	ws := c.set(block)
 	for i := range ws {
-		if ws[i].State != Invalid && ws[i].Tag == block {
+		if ws[i].valid() && ws[i].block() == block {
 			panic(fmt.Sprintf("memsim: Insert of resident block %#x", block))
 		}
 	}
 	for i := range ws {
-		if ws[i].State == Invalid {
-			ws[i] = Line{Tag: block, State: state}
+		if !ws[i].valid() {
+			ws[i] = packLine(block, state)
 			return Line{}
 		}
 	}
 	v := c.rng.Intn(c.assoc)
-	victim := ws[v]
-	ws[v] = Line{Tag: block, State: state}
+	victim := ws[v].unpack()
+	ws[v] = packLine(block, state)
 	return victim
 }
 
@@ -154,7 +179,7 @@ func (c *Cache) Insert(block uint64, state uint8) Line {
 func (c *Cache) Resident() int {
 	n := 0
 	for _, l := range c.lines {
-		if l.State != Invalid {
+		if l.valid() {
 			n++
 		}
 	}
@@ -166,10 +191,10 @@ func (c *Cache) Resident() int {
 func (c *Cache) Flush() []Line {
 	var dirty []Line
 	for i := range c.lines {
-		if c.lines[i].State == Modified {
-			dirty = append(dirty, c.lines[i])
+		if c.lines[i].state() == Modified {
+			dirty = append(dirty, c.lines[i].unpack())
 		}
-		c.lines[i] = Line{}
+		c.lines[i] = 0
 	}
 	return dirty
 }

@@ -80,11 +80,11 @@ func TestCacheInvariantResidencyBound(t *testing.T) {
 			}
 		}
 		counts := make(map[uint64]int)
-		for _, l := range c.lines {
-			if l.State == Invalid {
+		for _, pl := range c.lines {
+			if !pl.valid() {
 				continue
 			}
-			counts[l.Tag&7]++
+			counts[pl.block()&7]++
 		}
 		for _, n := range counts {
 			if n > 2 {
@@ -322,7 +322,7 @@ func TestStaleVecDeliversCachedValues(t *testing.T) {
 		// Place the vector in private space: no coherence, so the only
 		// refresh trigger is a cache miss, which we force with FlushBlock.
 		g := NewFVec(space.AllocPrivate(0, 64), 8)
-		sv := NewStaleVec(&g, 1)
+		sv := NewStaleVec(eng, &g, 1)
 
 		sv.Set(m, 0, 1.0)
 		if got := sv.Get(m, 0); got != 1.0 {
@@ -334,6 +334,9 @@ func TestStaleVecDeliversCachedValues(t *testing.T) {
 		if got := sv.Get(m, 0); got != 1.0 {
 			t.Errorf("cached read = %v, want the stale 1.0", got)
 		}
+		// Refetches copy from the quantum-boundary image, so burn enough
+		// cycles for a boundary to publish the new backing value first.
+		p.Compute(2 * int64(eng.Quantum))
 		// Drop the line: the next read misses and refreshes the snapshot.
 		m.FlushBlock(g.Addr(0))
 		if got := sv.Get(m, 0); got != 2.0 {

@@ -1,5 +1,7 @@
 package memsim
 
+import "repro/internal/sim"
+
 // StaleVec gives a shared float vector hardware-faithful value semantics:
 // each processor's reads return the values its cache actually holds — the
 // snapshot taken when the block was last fetched — rather than the globally
@@ -13,20 +15,44 @@ package memsim
 // synchronous version precisely because values propagate mid-step — but
 // only as fast as invalidations and refetches allow. Simulating with
 // perfectly fresh values would overstate that advantage enormously.
+//
+// A refetch returns the backing image as of the most recent quantum
+// boundary, with the reading processor's own later writes overlaid. The
+// conservative window already declares intra-quantum cross-processor
+// interactions unordered, so a refetch that sampled the live backing would
+// make the copied values depend on which processors happened to run first
+// inside the quantum — under a worker pool, on host scheduling. Snapshotting
+// at the boundary (an Engine publisher) keeps values identical for any
+// Workers setting. Writes to disjoint elements of a shared block remain the
+// writers' responsibility, as on real hardware.
 type StaleVec struct {
 	// G is the underlying shared vector (the authoritative backing).
 	G *FVec
 	// snap[p] is processor p's view: refreshed block-by-block on misses.
 	snap [][]float64
+	// base is the backing image captured at the last quantum boundary;
+	// refetches copy from it, never from the live backing.
+	base []float64
+	// wlog[p] holds the indices processor p wrote (via Set) since the last
+	// boundary, so refetches can overlay the processor's own fresh values.
+	wlog [][]int
 }
 
 // NewStaleVec wraps a shared vector for procs processors. Initial snapshots
-// equal the backing's current contents.
-func NewStaleVec(g *FVec, procs int) *StaleVec {
-	s := &StaleVec{G: g, snap: make([][]float64, procs)}
+// equal the backing's current contents. The boundary image refreshes as an
+// engine publisher: part of the simulation, deterministic at every quantum.
+func NewStaleVec(eng *sim.Engine, g *FVec, procs int) *StaleVec {
+	s := &StaleVec{G: g, snap: make([][]float64, procs), wlog: make([][]int, procs)}
 	for p := range s.snap {
 		s.snap[p] = append([]float64(nil), g.V...)
 	}
+	s.base = append([]float64(nil), g.V...)
+	eng.AddPublisher(func(sim.Time) {
+		copy(s.base, g.V)
+		for p := range s.wlog {
+			s.wlog[p] = s.wlog[p][:0]
+		}
+	})
 	return s
 }
 
@@ -39,8 +65,11 @@ func (s *StaleVec) elemsPerBlock(m *Mem) int {
 	return n
 }
 
-// refreshBlock copies the backing values of the block containing element i
-// into processor p's snapshot (the cache fill's data payload).
+// refreshBlock fills processor p's snapshot of the block containing element
+// i from the boundary image, then overlays p's own writes from this quantum
+// (which the boundary image cannot hold yet). Only the owning processor
+// touches its wlog entries' backing slots within a quantum, so reading them
+// from the live backing is race-free.
 func (s *StaleVec) refreshBlock(m *Mem, i int) {
 	per := s.elemsPerBlock(m)
 	lo := (i / per) * per
@@ -48,7 +77,13 @@ func (s *StaleVec) refreshBlock(m *Mem, i int) {
 	if hi > len(s.G.V) {
 		hi = len(s.G.V)
 	}
-	copy(s.snap[m.P.ID][lo:hi], s.G.V[lo:hi])
+	p := m.P.ID
+	copy(s.snap[p][lo:hi], s.base[lo:hi])
+	for _, j := range s.wlog[p] {
+		if j >= lo && j < hi {
+			s.snap[p][j] = s.G.V[j]
+		}
+	}
 }
 
 // Get simulates a load of element i and returns the value the processor's
@@ -65,10 +100,31 @@ func (s *StaleVec) Get(m *Mem, i int) float64 {
 func (s *StaleVec) Set(m *Mem, i int, x float64) {
 	m.Write(s.G.Addr(i))
 	s.G.V[i] = x
-	s.snap[m.P.ID][i] = x
-	// Ownership means our snapshot of this block is current.
+	s.wlog[m.P.ID] = append(s.wlog[m.P.ID], i)
+	// Ownership means our snapshot of this block is current (as of the
+	// boundary image plus our own writes — the overlay restores x).
 	s.refreshBlock(m, i)
 }
 
 // Local returns processor p's current view (for norms over owned segments).
 func (s *StaleVec) Local(p int) []float64 { return s.snap[p] }
+
+// MirrorVec is a read-only boundary image of a shared vector for apps that
+// refresh by scheduled bulk copies rather than per-element cached reads
+// (MSE-SM's snapshot refresh). V holds the backing's contents as of the most
+// recent quantum boundary; an engine publisher refreshes it. Readers copy
+// remote partitions from V while owners write the live backing — the same
+// one-quantum visibility floor the conservative window already imposes on
+// every cross-processor interaction, so results cannot depend on which
+// processors the worker pool happened to run first.
+type MirrorVec struct {
+	// V is the boundary image. Read-only outside the publisher.
+	V []float64
+}
+
+// NewMirror wraps shared vector g with a quantum-boundary image.
+func NewMirror(eng *sim.Engine, g *FVec) *MirrorVec {
+	mv := &MirrorVec{V: append([]float64(nil), g.V...)}
+	eng.AddPublisher(func(sim.Time) { copy(mv.V, g.V) })
+	return mv
+}

@@ -11,7 +11,8 @@ func (c *Cache) EncodeState(enc *snapshot.Enc) {
 		enc.U32(uint32(c.sets))
 		enc.U32(uint32(c.assoc))
 		enc.U32(uint32(len(c.lines)))
-		for _, l := range c.lines {
+		for _, pl := range c.lines {
+			l := pl.unpack()
 			enc.U64(l.Tag)
 			enc.U8(l.State)
 		}

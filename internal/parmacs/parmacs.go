@@ -40,6 +40,11 @@ type Runtime struct {
 	Bar    *sim.Barrier
 	Policy Policy
 
+	// Comb is the in-network hardware combining tree, non-nil only under the
+	// cost.Config.HWCombining ablation; reductions then deposit at the
+	// network port instead of ascending the software tree.
+	Comb *sim.Combiner
+
 	// created flips to true in the create event (engine context), so every
 	// processor observes the same quantum-stable value; the mutex guards the
 	// waiter list, which concurrently dispatched processors append to.
@@ -51,9 +56,17 @@ type Runtime struct {
 	lockSerial   int
 }
 
-// NewRuntime wires the parmacs layer to the coherence protocol and barrier.
+// NewRuntime wires the parmacs layer to the coherence protocol and barrier,
+// and arms the hardware combining tree when the ablation asks for it.
 func NewRuntime(cfg *cost.Config, pr *coherence.Protocol, space *memsim.AddrSpace, bar *sim.Barrier) *Runtime {
-	return &Runtime{Cfg: cfg, Pr: pr, Space: space, Bar: bar}
+	rt := &Runtime{Cfg: cfg, Pr: pr, Space: space, Bar: bar}
+	if cfg.HWCombining {
+		rt.Comb = sim.NewCombiner(pr.Eng, cfg.Procs, cfg.CombiningLatency,
+			func(op uint8, v1 float64, i1 int64, v2 float64, i2 int64) (float64, int64) {
+				return combine(Op(op), v1, i1, v2, i2)
+			})
+	}
+	return rt
 }
 
 // alloc returns a base address for n bytes under the current policy.
@@ -322,6 +335,19 @@ func (r *Reduction) Reduce(m *memsim.Mem, val float64, idx int64, op Op, cats Ca
 	defer p.PopMode()
 
 	me := p.ID
+	if comb := r.rt.Comb; comb != nil {
+		// Hardware-combining ablation: one deposit instruction at the
+		// network port, then the combined result arrives a fixed latency
+		// after the last contributor — no flag spinning, no remote-homed
+		// value traffic, no tree ascent. Result at node 0 only, zeros
+		// elsewhere, preserving the software contract.
+		p.Compute(reduceOpCycles)
+		v, i := comb.Wait(p, cats.Wait, uint8(op), val, idx)
+		if me == 0 {
+			return v, i
+		}
+		return 0, 0
+	}
 	r.round[me]++
 	round := r.round[me]
 	p.Compute(reduceOpCycles)

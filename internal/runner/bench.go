@@ -43,5 +43,23 @@ func EquivalenceMatrix() []NamedSpec {
 			Faults: &cost.FaultsConfig{Seed: 7, DropRate: 0.02, DupRate: 0.01, DelayRate: 0.05}}},
 		{"gauss-sm-faults", Spec{App: "gauss", Machine: "sm", Procs: 4, Size: 48, SMCheck: true,
 			SMFaults: &cost.SMFaultsConfig{Seed: 7, NACKRate: 0.02, ReorderRate: 0.02}}},
+
+		// P=64 rows: every app/machine pair at twice the paper's machine
+		// size, with per-processor working sets shrunk so replay, parallel
+		// determinism, and batched-accounting equivalence all get exercised
+		// on the scaling dispatcher's wide-machine path (batch chunking,
+		// compacted per-proc state) rather than only at P=4.
+		{"em3d-mp-p64", Spec{App: "em3d", Machine: "mp", Procs: 64, Size: 8, Iters: 2}},
+		{"em3d-sm-p64", Spec{App: "em3d", Machine: "sm", Procs: 64, Size: 8, Iters: 2}},
+		{"gauss-mp-p64", Spec{App: "gauss", Machine: "mp", Procs: 64, Size: 64}},
+		{"gauss-sm-p64", Spec{App: "gauss", Machine: "sm", Procs: 64, Size: 64}},
+		{"lcp-mp-p64", Spec{App: "lcp", Machine: "mp", Procs: 64, Size: 128, Iters: 2}},
+		{"lcp-sm-p64", Spec{App: "lcp", Machine: "sm", Procs: 64, Size: 128, Iters: 2}},
+		// mse-mp needs a small body count and several iterations: its long
+		// init phase makes quantum boundaries sparse, and the replay test
+		// needs enough boundaries in the interactive region for two
+		// checkpoints.
+		{"mse-mp-p64", Spec{App: "mse", Machine: "mp", Procs: 64, Size: 64, Iters: 6}},
+		{"mse-sm-p64", Spec{App: "mse", Machine: "sm", Procs: 64, Size: 64, Iters: 6}},
 	}
 }

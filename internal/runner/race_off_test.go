@@ -1,0 +1,5 @@
+//go:build !race
+
+package runner
+
+const raceEnabled = false

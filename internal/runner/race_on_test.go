@@ -1,0 +1,8 @@
+//go:build race
+
+package runner
+
+// raceEnabled reports whether this test binary was built with -race, so
+// tests whose workloads are too large for the detector's overhead can
+// skip themselves while still running in plain test jobs.
+const raceEnabled = true

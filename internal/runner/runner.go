@@ -55,6 +55,12 @@ type Spec struct {
 	SMCheck    bool                 `json:"sm_check,omitempty"`
 	SMFaults   *cost.SMFaultsConfig `json:"sm_faults,omitempty"`
 	SMWatchdog int64                `json:"sm_watchdog,omitempty"`
+
+	// HWCombining arms the in-network hardware combining tree ablation:
+	// reductions deposit at the network port instead of ascending the
+	// software tree (cost.Config.HWCombining). Part of Spec — it changes the
+	// simulated hardware, so it must survive the snapshot round-trip.
+	HWCombining bool `json:"hw_combining,omitempty"`
 }
 
 // Validate rejects specs that name no runnable configuration.
@@ -104,6 +110,7 @@ func (s *Spec) Config() cost.Config {
 	cfg.SMCheck = s.SMCheck
 	cfg.SMFaults = s.SMFaults
 	cfg.SMWatchdog = s.SMWatchdog
+	cfg.HWCombining = s.HWCombining
 	return cfg
 }
 

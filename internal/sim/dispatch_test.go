@@ -1,0 +1,366 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// --- Block/Wake payload-kind mismatch (the stale-wakeData fix) ---
+
+// TestBlockWakeValsMismatchPanics pins the mismatch fix: a Block resumed by
+// WakeVals used to return nil silently (the typed payload sat unread in
+// wakeA/wakeB); now it panics with a message naming both halves of the
+// mispaired call.
+func TestBlockWakeValsMismatchPanics(t *testing.T) {
+	e := NewEngine(100)
+	var msg string
+	p := e.AddProc(func(p *Proc) {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = fmt.Sprint(r)
+			}
+			panic(procHalt{}) // retire cleanly so Run completes
+		}()
+		p.Block(stats.SharedMiss, "mismatch test")
+		t.Error("Block returned despite mismatched wake")
+	})
+	e.Schedule(150, func() { p.WakeVals(250, 7, 8) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(msg, "Block woken by WakeVals") {
+		t.Fatalf("panic %q does not name the Block/WakeVals mismatch", msg)
+	}
+}
+
+// TestBlockValsWakeMismatchPanics is the mirror direction: BlockVals
+// resumed by Wake used to return (0, 0) with the payload stranded in
+// wakeData.
+func TestBlockValsWakeMismatchPanics(t *testing.T) {
+	e := NewEngine(100)
+	var msg string
+	p := e.AddProc(func(p *Proc) {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = fmt.Sprint(r)
+			}
+			panic(procHalt{})
+		}()
+		p.BlockVals(stats.SharedMiss, "mismatch test")
+		t.Error("BlockVals returned despite mismatched wake")
+	})
+	e.Schedule(150, func() { p.Wake(250, "boxed") })
+	if err := e.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(msg, "BlockVals woken by Wake") {
+		t.Fatalf("panic %q does not name the BlockVals/Wake mismatch", msg)
+	}
+}
+
+// TestMatchedBlockWakePairsStillWork guards the fix against false
+// positives: correctly paired Block/Wake and BlockVals/WakeVals deliver
+// payloads and stall charges exactly as before.
+func TestMatchedBlockWakePairsStillWork(t *testing.T) {
+	e := NewEngine(100)
+	var data any
+	var a, b int64
+	p := e.AddProc(func(p *Proc) {
+		data = p.Block(stats.SharedMiss, "any wait")
+		a, b = p.BlockVals(stats.SharedMiss, "vals wait")
+	})
+	e.Schedule(150, func() { p.Wake(200, "payload") })
+	e.Schedule(350, func() { p.WakeVals(400, 41, 42) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if data != "payload" || a != 41 || b != 42 {
+		t.Fatalf("payloads = (%v, %d, %d), want (payload, 41, 42)", data, a, b)
+	}
+	if c := p.Acct.Cycles(stats.PhaseDefault, stats.SharedMiss); c != 400 {
+		t.Errorf("stall charged %d, want 400 (200 + 200)", c)
+	}
+}
+
+// --- Step (direct-continuation) processors ---
+
+// TestStepProcMatchesCoroutine runs the same workload as a coroutine and as
+// a step function and requires identical clocks and charges: a step proc is
+// semantically a processor, just dispatched by direct call.
+func TestStepProcMatchesCoroutine(t *testing.T) {
+	const rounds = 40
+	run := func(step bool) (Time, int64) {
+		e := NewEngine(100)
+		var p *Proc
+		if step {
+			k := 0
+			p = e.AddStepProc(func(p *Proc) StepStatus {
+				for p.Clock() < p.Engine().QuantumEnd() {
+					if k >= rounds {
+						return StepDone
+					}
+					k++
+					p.Compute(70)
+				}
+				return StepYield
+			})
+		} else {
+			p = e.AddProc(func(p *Proc) {
+				for k := 0; k < rounds; k++ {
+					p.Compute(70)
+					p.Interact()
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return p.Clock(), p.Acct.Cycles(stats.PhaseDefault, stats.Comp)
+	}
+	cClock, cComp := run(false)
+	sClock, sComp := run(true)
+	if cClock != sClock || cComp != sComp {
+		t.Fatalf("step (clock %d, comp %d) != coroutine (clock %d, comp %d)",
+			sClock, sComp, cClock, cComp)
+	}
+}
+
+// TestStepProcBlockWake exercises StepBlock/WakePayloadVals: the blocked
+// stall must be charged on consumption exactly as BlockVals charges it.
+func TestStepProcBlockWake(t *testing.T) {
+	e := NewEngine(100)
+	var a, b int64
+	phase := 0
+	p := e.AddStepProc(func(p *Proc) StepStatus {
+		switch phase {
+		case 0:
+			phase = 1
+			p.Compute(40)
+			p.StepBlock(stats.SharedMiss, "step wait")
+			return StepYield
+		default:
+			a, b = p.WakePayloadVals()
+			return StepDone
+		}
+	})
+	e.Schedule(150, func() { p.WakeVals(340, 5, 6) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if a != 5 || b != 6 {
+		t.Fatalf("payload = (%d, %d), want (5, 6)", a, b)
+	}
+	if c := p.Acct.Cycles(stats.PhaseDefault, stats.SharedMiss); c != 300 {
+		t.Errorf("stall charged %d, want 300", c)
+	}
+	if p.Clock() != 340 {
+		t.Errorf("clock = %d, want 340", p.Clock())
+	}
+}
+
+// TestStepProcCannotSuspend pins the step-proc restrictions: the
+// suspending primitives panic with a message naming the alternative.
+func TestStepProcCannotSuspend(t *testing.T) {
+	e := NewEngine(100)
+	var blockMsg, yieldMsg string
+	e.AddStepProc(func(p *Proc) StepStatus {
+		func() {
+			defer func() { blockMsg = fmt.Sprint(recover()) }()
+			p.Block(stats.SharedMiss, "nope")
+		}()
+		func() {
+			defer func() { yieldMsg = fmt.Sprint(recover()) }()
+			p.Compute(200) // past the horizon: Interact would need to yield
+			p.Interact()
+		}()
+		return StepDone
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(blockMsg, "StepBlock") {
+		t.Errorf("Block panic %q does not point at StepBlock", blockMsg)
+	}
+	if !strings.Contains(yieldMsg, "StepYield") {
+		t.Errorf("yield panic %q does not point at StepYield", yieldMsg)
+	}
+}
+
+// TestStepProcFailAborts: Fail from inside a step works like Fail from a
+// coroutine — staged, lowest ID wins, every other proc unwound.
+func TestStepProcFailAborts(t *testing.T) {
+	e := NewEngine(100)
+	sentinel := errors.New("step proc gave up")
+	e.AddStepProc(func(p *Proc) StepStatus {
+		p.Fail(sentinel)
+		return StepYield // unreachable
+	})
+	e.AddProc(func(p *Proc) {
+		p.Block(stats.LibComp, "waiting forever")
+	})
+	if err := e.Run(); !errors.Is(err, sentinel) {
+		t.Fatalf("Run returned %v, want the step proc's Fail error", err)
+	}
+}
+
+// TestStepProcStagedMergeDeterministic mixes step and coroutine processors
+// and checks the staged-event merge order is (procID, staging order) at
+// every worker count — step procs run on whichever goroutine holds the
+// baton, which must not leak into event ordering.
+func TestStepProcStagedMergeDeterministic(t *testing.T) {
+	run := func(workers int) []string {
+		e := NewEngine(100)
+		e.Workers = workers
+		var trace []string
+		const rounds = 5
+		for i := 0; i < 8; i++ {
+			i := i
+			if i%2 == 0 {
+				k := 0
+				e.AddStepProc(func(p *Proc) StepStatus {
+					if k >= rounds {
+						return StepDone
+					}
+					k++
+					kk := k
+					p.Schedule(p.Clock()+10, func() {
+						trace = append(trace, fmt.Sprintf("p%d.r%d", i, kk))
+					})
+					p.Compute(100)
+					return StepYield
+				})
+			} else {
+				e.AddProc(func(p *Proc) {
+					for k := 1; k <= rounds; k++ {
+						k := k
+						p.Schedule(p.Clock()+10, func() {
+							trace = append(trace, fmt.Sprintf("p%d.r%d", i, k))
+						})
+						p.Compute(100)
+						p.Interact()
+					}
+				})
+			}
+		}
+		if err := e.Run(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return trace
+	}
+	want := run(1)
+	if len(want) != 8*5 {
+		t.Fatalf("serial trace has %d events, want 40", len(want))
+	}
+	for _, workers := range []int{2, 4} {
+		got := run(workers)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("workers=%d trace diverged:\n got %v\nwant %v", workers, got, want)
+		}
+	}
+}
+
+// TestStepProcUnwindOnAbort: blocked and runnable step procs must unwind
+// cleanly when the run aborts.
+func TestStepProcUnwindOnAbort(t *testing.T) {
+	e := NewEngine(100)
+	sentinel := errors.New("external abort")
+	phase := 0
+	e.AddStepProc(func(p *Proc) StepStatus {
+		if phase == 0 {
+			phase = 1
+			p.StepBlock(stats.LibComp, "never woken")
+		}
+		return StepYield
+	})
+	e.AddStepProc(func(p *Proc) StepStatus {
+		p.Compute(100)
+		return StepYield // spins forever
+	})
+	e.Schedule(500, func() { e.Abort(sentinel) })
+	if err := e.Run(); !errors.Is(err, sentinel) {
+		t.Fatalf("Run returned %v, want abort error", err)
+	}
+}
+
+// --- Goroutine bounds of the pooled dispatcher ---
+
+// TestStepProcsNoGoroutines: a machine of step processors runs with a flat
+// goroutine count — the dispatcher owns zero goroutines per step proc, at
+// any P.
+func TestStepProcsNoGoroutines(t *testing.T) {
+	const procs = 1024
+	base := runtime.NumGoroutine()
+	e := NewEngine(100)
+	e.Workers = 1
+	high := 0
+	e.AddQuantumHook(func(Time) {
+		if n := runtime.NumGoroutine(); n > high {
+			high = n
+		}
+	})
+	for i := 0; i < procs; i++ {
+		k := 0
+		e.AddStepProc(func(p *Proc) StepStatus {
+			if k >= 20 {
+				return StepDone
+			}
+			k++
+			p.Compute(100)
+			return StepYield
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if high > base+4 {
+		t.Errorf("goroutine high-water %d with %d step procs (baseline %d): step procs must not own goroutines",
+			high, procs, base)
+	}
+}
+
+// TestWorkerPoolGoroutinesBounded: under parallel dispatch the engine's own
+// goroutine overhead is the persistent worker pool — high-water stays within
+// procs + workers + a small constant (no per-quantum spawning), and every
+// engine goroutine is gone once Run returns.
+func TestWorkerPoolGoroutinesBounded(t *testing.T) {
+	const procs, workers = 256, 4
+	base := runtime.NumGoroutine()
+	e := NewEngine(100)
+	e.Workers = workers
+	high := 0
+	e.AddQuantumHook(func(Time) {
+		if n := runtime.NumGoroutine(); n > high {
+			high = n
+		}
+	})
+	for i := 0; i < procs; i++ {
+		e.AddProc(func(p *Proc) {
+			for k := 0; k < 20; k++ {
+				p.Compute(100)
+				p.Interact()
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if limit := base + procs + workers + 4; high > limit {
+		t.Errorf("goroutine high-water %d > %d (base %d + procs %d + workers %d + slack): dispatcher is spawning per quantum",
+			high, limit, base, procs, workers)
+	}
+	// Retired procs and stopped workers must not linger. The final
+	// goroutine exits race with Run returning, so poll briefly.
+	for i := 0; i < 200 && runtime.NumGoroutine() > base; i++ {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base+2 {
+		t.Errorf("%d goroutines outlive Run (baseline %d)", n, base)
+	}
+}

@@ -2,25 +2,26 @@
 // underlying both simulated machines, in the style of the Wisconsin Wind
 // Tunnel (Reinhardt et al., SIGMETRICS 1993).
 //
-// Target "processors" are Go functions executed as coroutines. The engine
-// interleaves processors within conservative time quanta equal to the
-// minimum network latency (100 cycles): any event one processor causes at
-// another is delayed by at least the network latency, so intra-quantum
-// execution order cannot affect the simulation's outcome — the same
-// lookahead argument WWT uses. The same argument makes the processor phase
-// of each quantum safe to run on multiple host cores (Workers): processors
-// never touch each other's state within a quantum, events they raise are
-// staged per-processor and merged in deterministic (procID, staging order)
-// at the quantum boundary, so a parallel run is bit-identical to a serial
-// one. All time is virtual (cycles); wall-clock effects such as Go's
-// garbage collector cannot perturb measurements.
+// Target "processors" are Go functions executed as coroutines (or as
+// stackless step functions; see Engine.AddStepProc). The engine interleaves
+// processors within conservative time quanta equal to the minimum network
+// latency (100 cycles): any event one processor causes at another is
+// delayed by at least the network latency, so intra-quantum execution order
+// cannot affect the simulation's outcome — the same lookahead argument WWT
+// uses. The same argument makes the processor phase of each quantum safe to
+// run on multiple host cores (Workers): processors never touch each other's
+// state within a quantum, events they raise are staged per-processor and
+// merged in deterministic (procID, staging order) at the quantum boundary,
+// so a parallel run is bit-identical to a serial one. All time is virtual
+// (cycles); wall-clock effects such as Go's garbage collector cannot
+// perturb measurements.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
 	"runtime"
-	"sync"
+	"slices"
 	"sync/atomic"
 
 	"repro/internal/stats"
@@ -92,10 +93,34 @@ type Engine struct {
 	seq    uint64
 	procs  []*Proc
 
-	runnable procHeap // procs that are neither done nor blocked, by (clock, ID)
-	batch    []*Proc  // scratch: the procs dispatched this quantum
+	// The runnable set is split by the quantum horizon: ready holds procs
+	// whose next dispatch may fall in the coming quantum (unordered; it is
+	// consumed wholesale at every batch collection, so membership order
+	// never matters), ahead holds procs that computed past the horizon,
+	// ordered by (clock, ID) so the engine can skip idle time straight to
+	// the earliest one. In the common SPMD steady state every proc re-
+	// enters ready each quantum and the collection is O(batch), with no
+	// per-proc heap maintenance.
+	ready []*Proc
+	ahead procHeap
+	batch []*Proc // scratch: the procs dispatched this quantum, ID-sorted
 
-	finished    int  // processors that have returned
+	// engGate is the engine's own park gate (cap 1): the tail of a serial
+	// dispatch chain, the last worker of a parallel phase, and unwound
+	// procs post it to return control.
+	engGate chan struct{}
+
+	// Persistent processor-phase workers (parallel mode only). Workers
+	// park on their own gates between quanta — dispatching a quantum
+	// reuses them instead of spawning goroutines, so the engine's
+	// goroutine count is flat across the whole run. cursor hands out
+	// batch chunks; pending counts workers still draining the batch.
+	workers []*worker
+	chunk   int
+	cursor  atomic.Int64
+	pending atomic.Int32
+
+	finished    int  // processors that have retired
 	inProcPhase bool // processor phase in flight: Schedule/Wake are off-limits
 
 	stagers []*Stager // auxiliary staging contexts (barrier releases)
@@ -138,13 +163,22 @@ type Engine struct {
 	Trace func(format string, args ...any)
 }
 
+// worker is one persistent processor-phase worker: a goroutine that parks
+// on its gate between quanta, and during a phase claims chunks of the
+// batch, chains each chunk, and dispatches it.
+type worker struct {
+	eng  *Engine
+	gate chan struct{} // cap 1: phase start from the engine, chunk completion from chain tails
+	stop bool
+}
+
 // NewEngine returns an engine with the given quantum (use the network
 // latency; 100 in the paper's machines).
 func NewEngine(quantum Time) *Engine {
 	if quantum <= 0 {
 		panic("sim: quantum must be positive")
 	}
-	return &Engine{Quantum: quantum}
+	return &Engine{Quantum: quantum, engGate: make(chan struct{}, 1)}
 }
 
 // Now returns the start of the current quantum. Individual processors may
@@ -238,23 +272,43 @@ func (s *Stager) ScheduleAction(at Time, act Action) {
 	s.staged = append(s.staged, stagedEvent{at: at, act: act})
 }
 
-// AddProc registers a new processor whose body is fn. Must be called before
-// Run. Processors are created with ID = registration order.
-func (e *Engine) AddProc(fn func(p *Proc)) *Proc {
+// newProc builds the registration-shared part of a processor.
+func (e *Engine) newProc() *Proc {
 	p := &Proc{
-		ID:     len(e.procs),
-		eng:    e,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
-		body:   fn,
-		Acct:   &stats.Acct{PerAccess: e.PerAccessStats},
+		ID:   len(e.procs),
+		eng:  e,
+		gate: make(chan struct{}, 1),
+		Acct: &stats.Acct{PerAccess: e.PerAccessStats},
 	}
+	p.compCat = stats.Comp
 	p.missCat = stats.LocalMiss
 	p.missCnt = stats.CntLocalMisses
 	p.sharedCat = stats.SharedMiss
 	p.wfCat = stats.WriteFault
 	e.procs = append(e.procs, p)
-	heap.Push(&e.runnable, p)
+	e.ready = append(e.ready, p)
+	return p
+}
+
+// AddProc registers a new coroutine processor whose body is fn. Must be
+// called before Run. Processors are created with ID = registration order.
+func (e *Engine) AddProc(fn func(p *Proc)) *Proc {
+	p := e.newProc()
+	p.body = fn
+	return p
+}
+
+// AddStepProc registers a stackless processor: instead of a coroutine, step
+// is invoked as a direct continuation call on every dispatch — one function
+// call per quantum, no goroutine, no park/unpark. The step runs until its
+// clock reaches the quantum end (or it blocks via StepBlock) and returns
+// StepYield, or retires with StepDone. Step processors cannot call the
+// suspending primitives (Interact past the horizon, Block, SpinUntil);
+// they are for service processors and dispatch-bound workloads structured
+// as explicit state machines.
+func (e *Engine) AddStepProc(step func(p *Proc) StepStatus) *Proc {
+	p := e.newProc()
+	p.step = step
 	return p
 }
 
@@ -278,8 +332,11 @@ func (e *Engine) workerCount() int {
 // state, a programmer error on a perfect network.
 func (e *Engine) Run() error {
 	for _, p := range e.procs {
-		p.start()
+		if p.step == nil {
+			p.start()
+		}
 	}
+	defer e.stopWorkers()
 	for e.finished < len(e.procs) {
 		if e.aborted != nil {
 			e.unwind()
@@ -324,13 +381,26 @@ func (e *Engine) Run() error {
 		}
 
 		// Processor phase: run each processor that has work this quantum.
-		// The runnable heap is ordered by (clock, ID), so collecting the
-		// batch costs O(ran log n) instead of scanning every processor.
+		// ready is consumed wholesale — procs past the horizon spill into
+		// the ahead heap, the rest join the batch, and procs whose run-
+		// ahead ends this quantum come back off the heap top.
 		e.batch = e.batch[:0]
-		for len(e.runnable) > 0 && e.runnable[0].clock < e.qEnd {
-			e.batch = append(e.batch, heap.Pop(&e.runnable).(*Proc))
+		for _, p := range e.ready {
+			if p.clock < e.qEnd {
+				e.batch = append(e.batch, p)
+			} else {
+				heap.Push(&e.ahead, p)
+			}
+		}
+		e.ready = e.ready[:0]
+		for len(e.ahead) > 0 && e.ahead[0].clock < e.qEnd {
+			e.batch = append(e.batch, heap.Pop(&e.ahead).(*Proc))
 		}
 		if len(e.batch) > 0 {
+			// Sort by ID once: the dispatch chain, the staged-event merge,
+			// and failure collection all walk this order, so every
+			// deterministic tie-break reduces to processor ID.
+			sortBatchByID(e.batch)
 			e.runBatch(e.batch)
 			e.settleBatch(e.batch)
 			e.now = e.qEnd
@@ -370,52 +440,110 @@ func (e *Engine) Run() error {
 	return nil
 }
 
-// runBatch executes every processor in the batch for one quantum, across
-// the worker pool when more than one worker and processor are available.
-// Workers only perform the per-processor channel handshake; all shared
-// mutation (event staging, accounting) is per-processor and merged
-// afterwards, so execution order within the batch is immaterial.
+// runBatch executes every processor in the batch for one quantum. Serially,
+// the whole batch forms one baton chain: the engine unparks the head and
+// parks once on its own gate — one handoff per processor, plus none at all
+// for runs of step procs. In parallel mode the persistent workers claim
+// chunks of the batch and chain each chunk the same way. Workers only pass
+// batons; all shared mutation (event staging, accounting) is per-processor
+// and merged afterwards, so execution order within the batch is immaterial.
 func (e *Engine) runBatch(batch []*Proc) {
 	e.inProcPhase = true
-	if n := e.workerCount(); n > 1 && len(batch) > 1 {
-		if n > len(batch) {
-			n = len(batch)
+	n := e.workerCount()
+	if n > len(batch) {
+		n = len(batch)
+	}
+	if n > 1 {
+		e.ensureWorkers(n)
+		// Chunk so each worker expects several claims (load balance)
+		// without contending on the cursor per proc.
+		c := len(batch) / (4 * n)
+		if c < 1 {
+			c = 1
+		} else if c > 64 {
+			c = 64
 		}
-		var next atomic.Int64
-		next.Store(-1)
-		var wg sync.WaitGroup
-		for w := 0; w < n; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1))
-					if i >= len(batch) {
-						return
-					}
-					dispatch(batch[i])
-				}
-			}()
+		e.chunk = c
+		e.cursor.Store(0)
+		e.pending.Store(int32(n))
+		for _, w := range e.workers[:n] {
+			w.gate <- struct{}{}
 		}
-		wg.Wait()
+		<-e.engGate
 	} else {
-		for _, p := range batch {
-			dispatch(p)
+		for i := 0; i < len(batch)-1; i++ {
+			batch[i].next = batch[i+1]
 		}
+		batch[len(batch)-1].post = e.engGate
+		advance(batch[0])
+		<-e.engGate
 	}
 	e.inProcPhase = false
+}
+
+// ensureWorkers grows the persistent worker pool to at least n.
+func (e *Engine) ensureWorkers(n int) {
+	for len(e.workers) < n {
+		w := &worker{eng: e, gate: make(chan struct{}, 1)}
+		e.workers = append(e.workers, w)
+		go w.loop()
+	}
+}
+
+// stopWorkers retires the persistent workers when Run returns. They are
+// all parked on their gates (a phase never outlives runBatch), so a flagged
+// unpark is enough.
+func (e *Engine) stopWorkers() {
+	for _, w := range e.workers {
+		w.stop = true
+		w.gate <- struct{}{}
+	}
+	e.workers = e.workers[:0]
+}
+
+// loop is the persistent worker body: park until a phase starts, then
+// claim, chain, and dispatch chunks of the batch until the cursor runs
+// out. The last worker to finish posts the engine's gate. Channel sends
+// order every write: the engine's batch/chunk writes precede the phase
+// start, each chunk's proc state precedes the tail's post, and the pending
+// counter hands the final ordering to the engine.
+func (w *worker) loop() {
+	for {
+		<-w.gate
+		if w.stop {
+			return
+		}
+		e := w.eng
+		sz := e.chunk
+		for {
+			i := int(e.cursor.Add(int64(sz))) - sz
+			if i >= len(e.batch) {
+				break
+			}
+			j := i + sz
+			if j > len(e.batch) {
+				j = len(e.batch)
+			}
+			chunk := e.batch[i:j]
+			for k := 0; k < len(chunk)-1; k++ {
+				chunk[k].next = chunk[k+1]
+			}
+			chunk[len(chunk)-1].post = w.gate
+			advance(chunk[0])
+			<-w.gate
+		}
+		if e.pending.Add(-1) == 0 {
+			e.engGate <- struct{}{}
+		}
+	}
 }
 
 // settleBatch runs at the quantum boundary after the batch: it merges every
 // staged event into the global heap in deterministic order, surfaces the
 // first (lowest-ID) processor failure, counts finished processors, and
-// requeues the still-runnable ones.
+// requeues the still-runnable ones. The batch is already ID-sorted (Run
+// sorts it before dispatch), so iteration order is processor-ID order.
 func (e *Engine) settleBatch(batch []*Proc) {
-	// Merge in ascending processor ID. The batch popped in (clock, ID)
-	// order, which is not ID order; sort a copy cheaply.
-	if len(batch) > 1 {
-		insertionSortByID(batch)
-	}
 	for _, p := range batch {
 		for i := range p.staged {
 			se := &p.staged[i]
@@ -447,16 +575,16 @@ func (e *Engine) settleBatch(batch []*Proc) {
 		case p.done:
 			e.finished++
 		case p.blocked:
-			// Re-enters the runnable heap when an event wakes it.
+			// Re-enters ready when an event wakes it.
 		default:
-			heap.Push(&e.runnable, p)
+			e.ready = append(e.ready, p)
 		}
 	}
 }
 
-// insertionSortByID sorts a batch by processor ID. Batches pop from the
-// runnable heap nearly ID-ordered already (ties on clock break by ID), so
-// insertion sort beats sort.Slice's overhead at these sizes.
+// insertionSortByID sorts a batch by processor ID. Steady-state batches
+// arrive nearly sorted already (settle requeues in ID order), so insertion
+// sort beats a general sort at small sizes.
 func insertionSortByID(ps []*Proc) {
 	for i := 1; i < len(ps); i++ {
 		p := ps[i]
@@ -467,6 +595,18 @@ func insertionSortByID(ps []*Proc) {
 		}
 		ps[j+1] = p
 	}
+}
+
+// sortBatchByID ID-sorts the batch: insertion sort for small or nearly-
+// sorted batches, pdqsort beyond that (wake-heavy workloads at large P can
+// interleave hundreds of out-of-order entries, where insertion sort's
+// quadratic tail would bite).
+func sortBatchByID(ps []*Proc) {
+	if len(ps) <= 64 {
+		insertionSortByID(ps)
+		return
+	}
+	slices.SortFunc(ps, func(a, b *Proc) int { return a.ID - b.ID })
 }
 
 // AddPublisher registers fn to run at the top of every scheduling iteration,
@@ -503,8 +643,9 @@ func (e *Engine) Abort(err error) {
 // Aborted returns the error the run was aborted with, if any.
 func (e *Engine) Aborted() error { return e.aborted }
 
-// unwind poisons and resumes every live processor so its goroutine exits
-// (via the procHalt panic recovered in start), leaving no coroutine parked.
+// unwind poisons and resumes every live processor so it retires (via the
+// procHalt panic recovered in start, or the step dispatcher's poison
+// check), leaving no coroutine parked.
 func (e *Engine) unwind() {
 	for _, p := range e.procs {
 		if p.done {
@@ -512,7 +653,10 @@ func (e *Engine) unwind() {
 		}
 		p.poisoned = true
 		p.blocked = false
-		dispatch(p)
+		p.next = nil
+		p.post = e.engGate
+		advance(p)
+		<-e.engGate
 		if p.done {
 			e.finished++
 		}
@@ -520,17 +664,23 @@ func (e *Engine) unwind() {
 }
 
 // nextInteresting returns the earliest time at which anything can happen:
-// the next event or the clock of the earliest runnable (but run-ahead)
-// processor. Returns -1 if nothing can ever happen again. O(1) via the
-// event and runnable heaps.
+// the next event or the clock of the earliest run-ahead processor. Returns
+// -1 if nothing can ever happen again. ready is almost always empty here
+// (an empty batch means collection just spilled everything into ahead),
+// but a wake landing after collection keeps the scan for completeness.
 func (e *Engine) nextInteresting() Time {
 	next := Time(-1)
 	if len(e.events) > 0 {
 		next = e.events[0].At
 	}
-	if len(e.runnable) > 0 {
-		if c := e.runnable[0].clock; next < 0 || c < next {
+	if len(e.ahead) > 0 {
+		if c := e.ahead[0].clock; next < 0 || c < next {
 			next = c
+		}
+	}
+	for _, p := range e.ready {
+		if next < 0 || p.clock < next {
+			next = p.clock
 		}
 	}
 	return next
@@ -561,15 +711,6 @@ func (e *Engine) procStates() string {
 	return msg
 }
 
-// dispatch hands control to p until it yields. Called from the engine
-// goroutine (serial phases, unwind) or from exactly one worker per
-// processor during a parallel processor phase; the channel handshake
-// orders all of p's state against the caller either way.
-func dispatch(p *Proc) {
-	p.resume <- struct{}{}
-	<-p.yield
-}
-
 // eventHeap is a min-heap on (At, seq).
 type eventHeap []*Event
 
@@ -598,10 +739,9 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
-// procHeap is a min-heap of runnable processors on (clock, ID): the heap
-// top is always the earliest work remaining, which makes the batch
-// collection and nextInteresting O(1)-per-item instead of scanning every
-// processor each quantum.
+// procHeap is a min-heap of run-ahead processors on (clock, ID): the heap
+// top is always the earliest future work, which keeps idle-time skipping
+// and run-ahead re-entry O(log n) without scanning every processor.
 type procHeap []*Proc
 
 func (h procHeap) Len() int { return len(h) }

@@ -1,23 +1,32 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/stats"
 )
 
-// Proc is a simulated processor. Its body function runs as a coroutine
-// under engine control. Within a quantum, processors only touch their own
-// state (or explicitly synchronized shared structures), which is what lets
-// the engine dispatch a quantum's batch across host cores; cross-processor
-// effects travel as events staged through Proc.Schedule and merged
-// deterministically at the quantum boundary.
+// Proc is a simulated processor. Its body runs either as a coroutine under
+// engine control (AddProc) or as a step function the dispatcher invokes as
+// a direct continuation call (AddStepProc). Within a quantum, processors
+// only touch their own state (or explicitly synchronized shared
+// structures), which is what lets the engine dispatch a quantum's batch
+// across host cores; cross-processor effects travel as events staged
+// through Proc.Schedule and merged deterministically at the quantum
+// boundary.
 //
 // A processor has a local virtual clock. Pure computation (Compute) may run
 // ahead of the engine's quantum; any operation with cross-processor
 // visibility (memory-system access, network-interface access,
 // synchronization) first synchronizes with the quantum via Interact.
+//
+// Dispatch is a baton chain: the engine links the quantum's batch through
+// the procs' next pointers and hands control to the head. A coroutine proc
+// is resumed by a single send on its one-slot gate channel and, when it
+// yields, passes the baton directly to its successor (or posts the chain's
+// completion gate) — one park/unpark per dispatch instead of the two
+// channel round trips a resume/yield pair costs. A step proc has no
+// goroutine at all: the baton holder simply calls its step function.
 type Proc struct {
 	ID   int
 	Acct *stats.Acct
@@ -25,13 +34,20 @@ type Proc struct {
 	eng   *Engine
 	clock Time
 
-	resume chan struct{}
-	yield  chan struct{}
-	body   func(*Proc)
+	// gate parks and unparks the coroutine (cap 1, so an unpark never
+	// blocks the sender). nil-adjacent fields next/post are the baton
+	// chain: set by the dispatcher before control arrives, consumed at the
+	// proc's yield. step is non-nil for continuation-dispatched procs.
+	gate chan struct{}
+	next *Proc
+	post chan struct{}
+	body func(*Proc)
+	step func(*Proc) StepStatus
 
 	done        bool
 	blocked     bool
 	poisoned    bool // engine aborting: unwind at the next resume
+	wakeKind    uint8
 	blockReason string
 	blockStart  Time
 	blockCat    stats.Category
@@ -64,19 +80,41 @@ type mode struct {
 	wf     stats.Category
 }
 
+// Wake payload kinds: which of Wake/WakeVals delivered the pending wake.
+// Block and BlockVals check the kind on resume, so mixing typed and
+// untyped payloads on one block/wake pair fails loudly instead of
+// returning stale zeros.
+const (
+	wakeNone uint8 = iota
+	wakeAny        // Wake: payload in wakeData
+	wakeVals       // WakeVals: payload in wakeA/wakeB
+)
+
+// StepStatus is a step processor's verdict after one dispatch: run again
+// (next quantum, or at the pending wake if it blocked) or finish.
+type StepStatus uint8
+
+const (
+	// StepYield returns control to the dispatcher; the step runs again in
+	// the next quantum its clock reaches (or, after StepBlock, when a
+	// wake arrives).
+	StepYield StepStatus = iota
+	// StepDone retires the processor; the step is never called again.
+	StepDone
+)
+
 // Engine returns the engine this processor belongs to.
 func (p *Proc) Engine() *Engine { return p.eng }
 
 // Clock returns the processor's local virtual time.
 func (p *Proc) Clock() Time { return p.clock }
 
-// procHalt is the sentinel panic used to unwind a processor's goroutine when
-// the engine aborts the run; start's deferred recover absorbs it so the
-// goroutine exits cleanly instead of leaking parked on its resume channel.
+// procHalt is the sentinel panic used to unwind a processor when the engine
+// aborts the run; the coroutine recover (or the step dispatcher's) absorbs
+// it so the processor retires cleanly instead of leaking parked on its gate.
 type procHalt struct{}
 
 func (p *Proc) start() {
-	p.compCat = stats.Comp
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -86,11 +124,12 @@ func (p *Proc) start() {
 			}
 			// The engine counts finished processors when it settles the
 			// batch: this deferred function may run on a worker goroutine,
-			// where touching engine state would race.
+			// where touching engine state would race. The goroutine exits
+			// here, so a retired processor pins no stack.
 			p.done = true
-			p.yield <- struct{}{}
+			p.passBaton()
 		}()
-		<-p.resume
+		<-p.gate
 		if p.poisoned {
 			panic(procHalt{})
 		}
@@ -98,10 +137,80 @@ func (p *Proc) start() {
 	}()
 }
 
-// yieldToEngine suspends the processor until the engine dispatches it again.
+// passBaton hands control onward when this processor is finished with its
+// dispatch: to the chain's next processor if one is linked, else to the
+// chain's completion gate (the engine's or a worker's).
+func (p *Proc) passBaton() {
+	n, post := p.next, p.post
+	p.next, p.post = nil, nil
+	if n != nil {
+		advance(n)
+	} else {
+		post <- struct{}{}
+	}
+}
+
+// advance transfers control to p: a coroutine proc is unparked with a
+// single channel send; a step proc's continuation is called right here, on
+// the current goroutine, and the baton passes on to its successor — a run
+// of step procs dispatches as plain function calls in a loop.
+func advance(p *Proc) {
+	for {
+		if p.step == nil {
+			p.gate <- struct{}{}
+			return
+		}
+		p.runStep()
+		n := p.next
+		if n == nil {
+			post := p.post
+			p.post = nil
+			post <- struct{}{}
+			return
+		}
+		p.next = nil
+		p = n
+	}
+}
+
+// runStep executes one dispatch of a step processor, absorbing the
+// procHalt sentinel exactly as a coroutine's recover does.
+func (p *Proc) runStep() {
+	if p.poisoned {
+		p.done = true
+		return
+	}
+	halted := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, halt := r.(procHalt); halt {
+					halted = true
+					return
+				}
+				panic(r)
+			}
+		}()
+		if p.step(p) == StepDone {
+			if p.blocked {
+				panic(fmt.Sprintf("sim: step proc %d returned StepDone while blocked", p.ID))
+			}
+			p.done = true
+		}
+	}()
+	if halted {
+		p.done = true
+	}
+}
+
+// yieldToEngine suspends the processor until the engine dispatches it
+// again: pass the baton on, park on the gate.
 func (p *Proc) yieldToEngine() {
-	p.yield <- struct{}{}
-	<-p.resume
+	if p.step != nil {
+		panic(fmt.Sprintf("sim: step proc %d cannot yield from inside its step; return StepYield instead", p.ID))
+	}
+	p.passBaton()
+	<-p.gate
 	if p.poisoned {
 		panic(procHalt{})
 	}
@@ -169,6 +278,9 @@ func (p *Proc) ChargeStall(cat stats.Category, cycles int64) {
 // until the quantum catches up. Every externally visible operation calls
 // this first, bounding observable reordering by one quantum (= the minimum
 // network latency), the precision of the original Wind Tunnel simulation.
+// Step processors cannot suspend mid-step: their step returns StepYield
+// when the clock reaches the quantum end, and the engine redispatches them
+// once the quantum catches up — the same run-ahead bound without a stack.
 func (p *Proc) Interact() {
 	for p.clock >= p.eng.qEnd {
 		p.yieldToEngine()
@@ -204,17 +316,31 @@ func (p *Proc) SpinUntil(cat stats.Category, cond func() bool) {
 	}
 }
 
-// Block suspends the processor until another party calls Wake. The stall
-// from now until the wake time is charged to cat. It returns the value
-// passed to Wake.
-func (p *Proc) Block(cat stats.Category, reason string) any {
+// blockState records the suspension so wake-time charging and stall
+// reports see a consistent picture whichever block form was used.
+func (p *Proc) blockState(cat stats.Category, reason string) {
 	p.blocked = true
 	p.blockReason = reason
 	p.blockStart = p.clock
 	p.blockCat = cat
-	p.yieldToEngine()
+}
+
+// takeWakeAny consumes a pending untyped wake: charge the blocked stall,
+// advance the clock to the wake time, and return the payload. Panics if the
+// waker used WakeVals — the typed and untyped payload channels must not be
+// mixed on one block/wake pair (the stale-payload bug this replaces
+// returned nil/zeros silently).
+func (p *Proc) takeWakeAny() any {
+	switch p.wakeKind {
+	case wakeAny:
+	case wakeVals:
+		panic(fmt.Sprintf("sim: proc %d: Block woken by WakeVals — typed and untyped wake payloads cannot be mixed; pair Block with Wake, or BlockVals with WakeVals", p.ID))
+	default:
+		panic(fmt.Sprintf("sim: proc %d: no wake pending", p.ID))
+	}
+	p.wakeKind = wakeNone
 	if p.wakeAt > p.blockStart {
-		p.Acct.Charge(cat, p.wakeAt-p.blockStart)
+		p.Acct.Charge(p.blockCat, p.wakeAt-p.blockStart)
 		p.clock = p.wakeAt
 	}
 	d := p.wakeData
@@ -222,26 +348,73 @@ func (p *Proc) Block(cat stats.Category, reason string) any {
 	return d
 }
 
-// BlockVals is Block for wakers that deliver two int64 values via WakeVals
-// instead of an interface payload. The typed channel avoids boxing the
-// payload into an `any` on every wake — one heap allocation per miss on the
-// coherence fast path. Mixing the two forms on one block/wake pair is a
-// programming error (WakeVals leaves wakeData nil; Wake leaves wakeA/B zero).
-func (p *Proc) BlockVals(cat stats.Category, reason string) (int64, int64) {
-	p.blocked = true
-	p.blockReason = reason
-	p.blockStart = p.clock
-	p.blockCat = cat
-	p.yieldToEngine()
+// takeWakeVals is takeWakeAny for the typed two-int64 payload channel.
+func (p *Proc) takeWakeVals() (int64, int64) {
+	switch p.wakeKind {
+	case wakeVals:
+	case wakeAny:
+		panic(fmt.Sprintf("sim: proc %d: BlockVals woken by Wake — typed and untyped wake payloads cannot be mixed; pair Block with Wake, or BlockVals with WakeVals", p.ID))
+	default:
+		panic(fmt.Sprintf("sim: proc %d: no wake pending", p.ID))
+	}
+	p.wakeKind = wakeNone
 	if p.wakeAt > p.blockStart {
-		p.Acct.Charge(cat, p.wakeAt-p.blockStart)
+		p.Acct.Charge(p.blockCat, p.wakeAt-p.blockStart)
 		p.clock = p.wakeAt
 	}
 	a, b := p.wakeA, p.wakeB
 	p.wakeA, p.wakeB = 0, 0
-	p.wakeData = nil
 	return a, b
 }
+
+// Block suspends the processor until another party calls Wake. The stall
+// from now until the wake time is charged to cat. It returns the value
+// passed to Wake; a waker that used WakeVals instead is a programming
+// error and panics on resume.
+func (p *Proc) Block(cat stats.Category, reason string) any {
+	if p.step != nil {
+		panic(fmt.Sprintf("sim: step proc %d cannot Block; use StepBlock and return StepYield", p.ID))
+	}
+	p.blockState(cat, reason)
+	p.yieldToEngine()
+	return p.takeWakeAny()
+}
+
+// BlockVals is Block for wakers that deliver two int64 values via WakeVals
+// instead of an interface payload. The typed channel avoids boxing the
+// payload into an `any` on every wake — one heap allocation per miss on the
+// coherence fast path. A waker that used Wake instead panics on resume.
+func (p *Proc) BlockVals(cat stats.Category, reason string) (int64, int64) {
+	if p.step != nil {
+		panic(fmt.Sprintf("sim: step proc %d cannot BlockVals; use StepBlock and return StepYield", p.ID))
+	}
+	p.blockState(cat, reason)
+	p.yieldToEngine()
+	return p.takeWakeVals()
+}
+
+// StepBlock suspends a step processor: the step must return StepYield
+// immediately after calling it, and is next dispatched when a wake
+// arrives. The resumed step consumes the wake with WakePayload or
+// WakePayloadVals (which charge the blocked stall to cat, exactly as Block
+// does); blocking again with a wake still pending panics.
+func (p *Proc) StepBlock(cat stats.Category, reason string) {
+	if p.step == nil {
+		panic(fmt.Sprintf("sim: coroutine proc %d must use Block, not StepBlock", p.ID))
+	}
+	if p.wakeKind != wakeNone {
+		panic(fmt.Sprintf("sim: step proc %d re-blocked without consuming its wake (call WakePayload or WakePayloadVals first)", p.ID))
+	}
+	p.blockState(cat, reason)
+}
+
+// WakePayload consumes the wake that resumed a step processor after
+// StepBlock, returning the Wake payload and charging the blocked stall.
+// Panics if the waker used WakeVals (see Block) or no wake is pending.
+func (p *Proc) WakePayload() any { return p.takeWakeAny() }
+
+// WakePayloadVals is WakePayload for the typed WakeVals channel.
+func (p *Proc) WakePayloadVals() (int64, int64) { return p.takeWakeVals() }
 
 // Wake unblocks a processor at absolute time at, delivering data to the
 // Block call. Must be called from engine context — an event handler, never
@@ -261,11 +434,12 @@ func (p *Proc) Wake(at Time, data any) {
 	p.blocked = false
 	p.blockReason = ""
 	p.wakeAt = at
+	p.wakeKind = wakeAny
 	p.wakeData = data
 	if p.clock < at {
 		p.clock = at
 	}
-	heap.Push(&p.eng.runnable, p)
+	p.eng.ready = append(p.eng.ready, p)
 }
 
 // WakeVals unblocks a processor at absolute time at, delivering two int64
@@ -284,11 +458,12 @@ func (p *Proc) WakeVals(at Time, a, b int64) {
 	p.blocked = false
 	p.blockReason = ""
 	p.wakeAt = at
+	p.wakeKind = wakeVals
 	p.wakeA, p.wakeB = a, b
 	if p.clock < at {
 		p.clock = at
 	}
-	heap.Push(&p.eng.runnable, p)
+	p.eng.ready = append(p.eng.ready, p)
 }
 
 // Blocked reports whether the processor is blocked, and why.

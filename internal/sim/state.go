@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/snapshot"
@@ -103,5 +104,25 @@ func (b *Barrier) EncodeState(enc *snapshot.Enc) {
 		enc.I64(int64(b.maxArr))
 		enc.I64(b.epoch)
 		enc.I64(int64(b.release))
+	})
+}
+
+// EncodeState contributes the combiner's image to a canonical state
+// snapshot: pending contributions in processor-ID order (value bits and
+// index), the episode's operator, the maximum arrival clock, and the
+// completed-episode count. Mirrors Barrier.EncodeState.
+func (c *Combiner) EncodeState(enc *snapshot.Enc) {
+	enc.Section("combiner", func(enc *snapshot.Enc) {
+		arr := append([]combArrival(nil), c.arrived...)
+		sort.Slice(arr, func(i, j int) bool { return arr[i].p.ID < arr[j].p.ID })
+		enc.U32(uint32(len(arr)))
+		for _, a := range arr {
+			enc.I64(int64(a.p.ID))
+			enc.U64(math.Float64bits(a.val))
+			enc.I64(a.idx)
+		}
+		enc.U8(c.op)
+		enc.I64(int64(c.maxArr))
+		enc.I64(c.epoch)
 	})
 }
