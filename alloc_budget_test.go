@@ -14,8 +14,10 @@
 package repro_test
 
 import (
+	"runtime"
 	"testing"
 
+	"repro/internal/apps/em3d"
 	"repro/internal/cmmd"
 	"repro/internal/cost"
 	"repro/internal/machine"
@@ -62,8 +64,8 @@ func TestAllocBudgetTLBSteadyState(t *testing.T) {
 	}
 	i := 128
 	allocs := testing.AllocsPerRun(1000, func() {
-		tlb.Access(uint64(i) << 12) // miss: evict + insert
-		tlb.Access(uint64(i) << 12) // MRU hit
+		tlb.Access(uint64(i) << 12)    // miss: evict + insert
+		tlb.Access(uint64(i) << 12)    // MRU hit
 		tlb.Access(uint64(i-50) << 12) // resident probe or refill
 		i++
 	})
@@ -84,11 +86,11 @@ func TestAllocBudgetAMRoundTrip(t *testing.T) {
 		replies := 0
 		stop := false
 		var hReq, hRep, hStop int
-		hReq = n.AM.Register(func(pkt ni.Packet) {
+		hReq = n.AM.Register(func(pkt *ni.Packet) {
 			n.AM.Request(pkt.Src, hRep, pkt.Args, 0, nil)
 		})
-		hRep = n.AM.Register(func(ni.Packet) { replies++ })
-		hStop = n.AM.Register(func(ni.Packet) { stop = true })
+		hRep = n.AM.Register(func(*ni.Packet) { replies++ })
+		hStop = n.AM.Register(func(*ni.Packet) { stop = true })
 		if n.ID == 0 {
 			roundTrip := func() {
 				want := replies + 1
@@ -159,5 +161,61 @@ func TestAllocBudgetBarrierEpisode(t *testing.T) {
 	}
 	if allocs != 0 {
 		t.Errorf("barrier episode allocates %.1f/op, budget 0", allocs)
+	}
+}
+
+// TestAllocBudgetStepAppMainLoop gates the step (continuation) dispatch
+// path on a complete application: once EM3D-MP's step form reaches its
+// main loop at P=256, the whole simulator — step dispatch, the cmmd
+// channel/poll machines, the NI packet path, batched accounting — must
+// allocate nothing. Measured as the host malloc count across the middle
+// ~40% of the run's quantum boundaries; the budget is exactly zero, so a
+// single escaping closure or per-quantum slice growth in the step stack
+// fails loudly.
+func TestAllocBudgetStepAppMainLoop(t *testing.T) {
+	par := em3d.DefaultParams()
+	par.NodesPer, par.Iters = 8, 40
+
+	cfg := cost.Default(256)
+	cfg.Workers = 1
+	base := em3d.RunMPStep(cfg, cmmd.LopSided, par)
+	if base.Res.Err != nil {
+		t.Fatalf("sizing run: %v", base.Res.Err)
+	}
+	start, end := base.Res.Elapsed/2, base.Res.Elapsed*9/10
+
+	cfg = cost.Default(256)
+	cfg.Workers = 1
+	var m0, m1 runtime.MemStats
+	var got0, got1 bool
+	var quanta int64
+	cfg.OnBuild = func(m any) {
+		mm := m.(*machine.MPMachine)
+		mm.Eng.AddQuantumHook(func(now sim.Time) {
+			switch {
+			case !got0 && now >= start:
+				runtime.ReadMemStats(&m0)
+				got0 = true
+			case got0 && !got1 && now >= end:
+				runtime.ReadMemStats(&m1)
+				got1 = true
+			case got0 && !got1:
+				quanta++
+			}
+		})
+	}
+	out := em3d.RunMPStep(cfg, cmmd.LopSided, par)
+	if out.Res.Err != nil {
+		t.Fatalf("measured run: %v", out.Res.Err)
+	}
+	if !got0 || !got1 {
+		t.Fatalf("measurement window never closed (start %d end %d)", start, end)
+	}
+	if quanta < 100 {
+		t.Fatalf("window too short: %d quanta", quanta)
+	}
+	if d := m1.Mallocs - m0.Mallocs; d != 0 {
+		t.Errorf("step-form main loop allocates: %d mallocs (%d bytes) over %d quanta, budget 0",
+			d, m1.TotalAlloc-m0.TotalAlloc, quanta)
 	}
 }

@@ -280,7 +280,7 @@ func BenchmarkMicroAMRoundTrip(b *testing.B) {
 		m := machine.NewMP(cfg, cmmd.Binary, func(n *machine.MPNode) {
 			got := 0
 			var h int
-			h = n.AM.Register(func(pkt ni.Packet) {
+			h = n.AM.Register(func(pkt *ni.Packet) {
 				got++
 				if n.ID == 1 {
 					n.AM.Request(0, h, pkt.Args, 8, nil)

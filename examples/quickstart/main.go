@@ -36,7 +36,7 @@ func pingPong() {
 	var last float64
 	m := machine.NewMP(cfg, cmmd.Binary, func(n *machine.MPNode) {
 		count := 0
-		h := n.AM.Register(func(pkt ni.Packet) {
+		h := n.AM.Register(func(pkt *ni.Packet) {
 			count++
 			last = math.Float64frombits(pkt.Args[0])
 		})

@@ -31,7 +31,7 @@ var ErrNoHandler = errors.New("am: no handler")
 // Handler processes a delivered active message on the receiving node. It
 // runs in library accounting mode; computation and memory traffic it
 // performs are charged as library time.
-type Handler func(pkt ni.Packet)
+type Handler func(pkt *ni.Packet)
 
 // AM is one node's active-message layer.
 type AM struct {
@@ -41,6 +41,13 @@ type AM struct {
 
 	handlers []Handler
 	rel      *Reliable
+
+	// recvBuf is the dispatch scratch packet: Poll pops into it and hands
+	// handlers a pointer to it. Handlers run to completion before the next
+	// pop, so one buffer suffices — and because the handler call is
+	// indirect, a stack-local packet would be forced to escape, costing a
+	// 128-byte heap allocation per received packet.
+	recvBuf ni.Packet
 }
 
 // New creates the active-message layer over a network interface.
@@ -70,13 +77,13 @@ func (a *AM) Request(dst, handler int, args [4]uint64, dataBytes int, data []uin
 	p.Acct.Add(stats.CntActiveMessages, 1)
 	pkt := ni.Packet{Dst: dst, Tag: handler, Args: args, DataBytes: dataBytes}
 	pkt.SetPayload(data)
-	a.SendPacket(pkt)
+	a.SendPacket(&pkt)
 }
 
 // SendPacket injects a pre-built packet, through the reliable transport when
 // one is attached (the CMMD channel layer and the collectives stream data
 // packets directly, below the Request call path).
-func (a *AM) SendPacket(pkt ni.Packet) {
+func (a *AM) SendPacket(pkt *ni.Packet) {
 	if a.rel != nil {
 		a.rel.send(pkt)
 		return
@@ -105,14 +112,15 @@ func (a *AM) Poll() (bool, error) {
 		// the status read and the FIFO load.
 		panic(err)
 	}
-	derr := a.dispatch(pkt)
+	a.recvBuf = pkt
+	derr := a.dispatch(&a.recvBuf)
 	if a.rel != nil {
 		a.rel.progress()
 	}
 	return true, derr
 }
 
-func (a *AM) dispatch(pkt ni.Packet) error {
+func (a *AM) dispatch(pkt *ni.Packet) error {
 	if a.rel != nil {
 		return a.rel.receive(pkt)
 	}
@@ -122,7 +130,7 @@ func (a *AM) dispatch(pkt ni.Packet) error {
 // dispatchInner invokes the handler named by the packet tag, bypassing the
 // reliable transport (which calls it for packets that clear checksum and
 // sequence filtering).
-func (a *AM) dispatchInner(pkt ni.Packet) error {
+func (a *AM) dispatchInner(pkt *ni.Packet) error {
 	if pkt.Tag < 0 || pkt.Tag >= len(a.handlers) {
 		err := fmt.Errorf("am: node %d: no handler for tag %d from node %d: %w",
 			a.NI.Node, pkt.Tag, pkt.Src, ErrNoHandler)
@@ -138,6 +146,18 @@ func (a *AM) dispatchInner(pkt ni.Packet) error {
 	a.handlers[pkt.Tag](pkt)
 	p.PopMode()
 	return nil
+}
+
+// HandlerFor returns the handler registered under tag, for step-form poll
+// machines that run dispatchInner's accounting themselves. The bounds
+// panic matches dispatchInner on the lossless machine (step processors
+// never run with a faulty network, so the typed-error path cannot apply).
+func (a *AM) HandlerFor(tag int) Handler {
+	if tag < 0 || tag >= len(a.handlers) {
+		panic(fmt.Errorf("am: node %d: no handler for tag %d: %w",
+			a.NI.Node, tag, ErrNoHandler))
+	}
+	return a.handlers[tag]
 }
 
 // Drain handles every currently available packet and returns how many were

@@ -30,8 +30,8 @@ func TestRegistrationOrderGivesStableIDs(t *testing.T) {
 	net := ni.NewNetwork(eng, &cfg)
 	p := eng.AddProc(func(*sim.Proc) {})
 	a := am.New(net.Attach(p))
-	h0 := a.Register(func(ni.Packet) {})
-	h1 := a.Register(func(ni.Packet) {})
+	h0 := a.Register(func(*ni.Packet) {})
+	h1 := a.Register(func(*ni.Packet) {})
 	if h0 != 0 || h1 != 1 {
 		t.Errorf("handler ids = %d, %d; want 0, 1", h0, h1)
 	}
@@ -41,13 +41,13 @@ func TestDrainDispatchesEverythingAvailable(t *testing.T) {
 	var got []uint64
 	eng := rig(t,
 		func(p *sim.Proc, a *am.AM) {
-			h := a.Register(func(ni.Packet) {})
+			h := a.Register(func(*ni.Packet) {})
 			for i := 0; i < 5; i++ {
 				a.Request(1, h, [4]uint64{uint64(i)}, 0, nil)
 			}
 		},
 		func(p *sim.Proc, a *am.AM) {
-			a.Register(func(pkt ni.Packet) { got = append(got, pkt.Args[0]) })
+			a.Register(func(pkt *ni.Packet) { got = append(got, pkt.Args[0]) })
 			// Wait until all five are queued, then drain in one call.
 			p.SpinUntil(stats.LibComp, func() bool { return a.NI.Pending() == 5 })
 			n, err := a.Drain()
@@ -70,11 +70,11 @@ func TestDispatchChargesLibraryCategories(t *testing.T) {
 	var libComp int64
 	eng := rig(t,
 		func(p *sim.Proc, a *am.AM) {
-			h := a.Register(func(ni.Packet) {})
+			h := a.Register(func(*ni.Packet) {})
 			a.Request(1, h, [4]uint64{}, 0, nil)
 		},
 		func(p *sim.Proc, a *am.AM) {
-			a.Register(func(ni.Packet) { p.Compute(37) })
+			a.Register(func(*ni.Packet) { p.Compute(37) })
 			if err := a.PollUntil(func() bool {
 				return p.Acct.Cycles(stats.PhaseDefault, stats.LibComp) > 0
 			}); err != nil {
@@ -95,11 +95,11 @@ func TestUnknownHandlerPanics(t *testing.T) {
 	panicked := false
 	eng := rig(t,
 		func(p *sim.Proc, a *am.AM) {
-			a.Register(func(ni.Packet) {})
+			a.Register(func(*ni.Packet) {})
 			a.Request(1, 3, [4]uint64{}, 0, nil) // node 1 has no handler 3
 		},
 		func(p *sim.Proc, a *am.AM) {
-			a.Register(func(ni.Packet) {})
+			a.Register(func(*ni.Packet) {})
 			defer func() {
 				if recover() != nil {
 					panicked = true

@@ -142,7 +142,7 @@ func (r *Reliable) peer(id int) *relPeer {
 
 // send assigns the next per-peer sequence number and injects the packet,
 // blocking (while servicing the network) when the send window is full.
-func (r *Reliable) send(pkt ni.Packet) {
+func (r *Reliable) send(pkt *ni.Packet) {
 	pr := r.peer(pkt.Dst)
 	for len(pr.unacked) >= r.fc.Window {
 		r.step(stats.LibRetrans)
@@ -151,7 +151,7 @@ func (r *Reliable) send(pkt ni.Packet) {
 	p.ChargeStall(stats.LibRetrans, r.a.Cfg.RelSeqCycles)
 	pr.nextSeq++
 	pkt.Seq = pr.nextSeq
-	pr.unacked = append(pr.unacked, relPkt{seq: pkt.Seq, pkt: pkt, first: p.Clock()})
+	pr.unacked = append(pr.unacked, relPkt{seq: pkt.Seq, pkt: *pkt, first: p.Clock()})
 	r.outstanding++
 	if len(pr.unacked) == 1 {
 		pr.rto = r.fc.RTO
@@ -190,10 +190,13 @@ func (r *Reliable) progress() {
 		}
 		// Retransmit the oldest unacked packet only: the receiver's reorder
 		// window holds everything that did arrive, so the cumulative ack
-		// jumps past it once the hole is plugged.
+		// jumps past it once the hole is plugged. Send gets a private copy —
+		// it stamps Arrive and the fault plan may corrupt the transmission,
+		// neither of which may touch the stored clean copy.
 		p.ChargeStall(stats.LibRetrans, r.a.Cfg.RelRetransCycles)
 		p.Acct.Add(stats.CntRetransmissions, 1)
-		r.a.NI.Send(pr.unacked[0].pkt)
+		rp := pr.unacked[0].pkt
+		r.a.NI.Send(&rp)
 		pr.deadline = p.Clock() + pr.rto
 	}
 }
@@ -220,7 +223,7 @@ func (r *Reliable) nextDeadline() (sim.Time, bool) {
 // receive is the transport's receiver half, called for every packet popped
 // from the NI: checksum, duplicate filtering, in-order release, cumulative
 // acks. Raw packets (seq 0: acks, lossless-era control) dispatch directly.
-func (r *Reliable) receive(pkt ni.Packet) error {
+func (r *Reliable) receive(pkt *ni.Packet) error {
 	p := r.a.P
 	if pkt.Corrupt {
 		// Modeled checksum failure: discard silently; if the packet was
@@ -232,22 +235,27 @@ func (r *Reliable) receive(pkt ni.Packet) error {
 	if pkt.Seq == 0 {
 		return r.a.dispatchInner(pkt)
 	}
-	pr := r.peer(pkt.Src)
+	// pkt may point at the shared dispatch buffer, which the release loop
+	// below overwrites — latch the sender before dispatching anything.
+	src := pkt.Src
+	pr := r.peer(src)
 	p.ChargeStall(stats.LibRetrans, r.a.Cfg.RelSeqCycles)
 	switch seq := pkt.Seq; {
 	case seq <= pr.cum:
 		// Already delivered: a network duplicate, or a retransmission
 		// after our ack was lost. Re-ack so the sender stops resending.
 		p.Acct.Add(stats.CntDuplicates, 1)
-		r.sendAck(pkt.Src, pr.cum)
+		r.sendAck(src, pr.cum)
 		return nil
 	case func() bool { _, dup := pr.buf[seq]; return dup }():
 		p.Acct.Add(stats.CntDuplicates, 1)
 		return nil
 	default:
-		pr.buf[seq] = pkt
+		pr.buf[seq] = *pkt
 	}
-	// Release the in-order prefix to the handlers.
+	// Release the in-order prefix to the handlers, through the dispatch
+	// scratch buffer (a stack local would escape into the indirect handler
+	// call and allocate per packet).
 	var err error
 	for {
 		nxt, ok := pr.buf[pr.cum+1]
@@ -256,11 +264,12 @@ func (r *Reliable) receive(pkt ni.Packet) error {
 		}
 		delete(pr.buf, pr.cum+1)
 		pr.cum++
-		if e := r.a.dispatchInner(nxt); e != nil && err == nil {
+		r.a.recvBuf = nxt
+		if e := r.a.dispatchInner(&r.a.recvBuf); e != nil && err == nil {
 			err = e
 		}
 	}
-	r.sendAck(pkt.Src, pr.cum)
+	r.sendAck(src, pr.cum)
 	return err
 }
 
@@ -270,12 +279,13 @@ func (r *Reliable) sendAck(dst int, cum uint64) {
 	p := r.a.P
 	p.ChargeStall(stats.LibRetrans, r.a.Cfg.RelAckCycles)
 	p.Acct.Add(stats.CntAcks, 1)
-	r.a.NI.Send(ni.Packet{Dst: dst, Tag: r.hAck, Args: [4]uint64{cum}})
+	ack := ni.Packet{Dst: dst, Tag: r.hAck, Args: [4]uint64{cum}}
+	r.a.NI.Send(&ack)
 }
 
 // onAck is the ack handler on the sending side: drop acknowledged packets
 // from the window and reset the backoff on progress.
-func (r *Reliable) onAck(pkt ni.Packet) {
+func (r *Reliable) onAck(pkt *ni.Packet) {
 	pr := r.peer(pkt.Src)
 	cum := pkt.Args[0]
 	p := r.a.P

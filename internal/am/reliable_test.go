@@ -65,12 +65,12 @@ func TestDropRecoveredByRetransmission(t *testing.T) {
 	delivered := 0
 	rig := newRelRig(t, dropFirstWindow(500),
 		func(p *sim.Proc, r *relRig) {
-			h := r.ams[0].Register(func(ni.Packet) {})
+			h := r.ams[0].Register(func(*ni.Packet) {})
 			_ = h
 			r.ams[0].Request(1, h, [4]uint64{42}, 0, nil)
 		},
 		func(p *sim.Proc, r *relRig) {
-			r.ams[1].Register(func(pkt ni.Packet) {
+			r.ams[1].Register(func(pkt *ni.Packet) {
 				if pkt.Args[0] == 42 {
 					delivered++
 				}
@@ -101,13 +101,13 @@ func TestNetworkDuplicateFiltered(t *testing.T) {
 	const n = 10
 	rig := newRelRig(t, plan,
 		func(p *sim.Proc, r *relRig) {
-			h := r.ams[0].Register(func(ni.Packet) {})
+			h := r.ams[0].Register(func(*ni.Packet) {})
 			for i := 0; i < n; i++ {
 				r.ams[0].Request(1, h, [4]uint64{uint64(i)}, 0, nil)
 			}
 		},
 		func(p *sim.Proc, r *relRig) {
-			r.ams[1].Register(func(pkt ni.Packet) { got = append(got, pkt.Args[0]) })
+			r.ams[1].Register(func(pkt *ni.Packet) { got = append(got, pkt.Args[0]) })
 		})
 	if err := rig.eng.Run(); err != nil {
 		t.Fatalf("run aborted: %v", err)
@@ -138,13 +138,13 @@ func TestJitterReorderDeliveredInOrder(t *testing.T) {
 	const n = 40
 	rig := newRelRig(t, plan,
 		func(p *sim.Proc, r *relRig) {
-			h := r.ams[0].Register(func(ni.Packet) {})
+			h := r.ams[0].Register(func(*ni.Packet) {})
 			for i := 0; i < n; i++ {
 				r.ams[0].Request(1, h, [4]uint64{uint64(i)}, 0, nil)
 			}
 		},
 		func(p *sim.Proc, r *relRig) {
-			r.ams[1].Register(func(pkt ni.Packet) { got = append(got, pkt.Args[0]) })
+			r.ams[1].Register(func(pkt *ni.Packet) { got = append(got, pkt.Args[0]) })
 		})
 	if err := rig.eng.Run(); err != nil {
 		t.Fatalf("run aborted: %v", err)
@@ -169,11 +169,11 @@ func TestCorruptPacketDiscardedAndRecovered(t *testing.T) {
 	delivered := 0
 	rig := newRelRig(t, plan,
 		func(p *sim.Proc, r *relRig) {
-			h := r.ams[0].Register(func(ni.Packet) {})
+			h := r.ams[0].Register(func(*ni.Packet) {})
 			r.ams[0].Request(1, h, [4]uint64{7}, 0, nil)
 		},
 		func(p *sim.Proc, r *relRig) {
-			r.ams[1].Register(func(ni.Packet) { delivered++ })
+			r.ams[1].Register(func(*ni.Packet) { delivered++ })
 		})
 	if err := rig.eng.Run(); err != nil {
 		t.Fatalf("run aborted: %v", err)
@@ -201,11 +201,11 @@ func TestLostAckTriggersReack(t *testing.T) {
 	delivered := 0
 	rig := newRelRig(t, plan,
 		func(p *sim.Proc, r *relRig) {
-			h := r.ams[0].Register(func(ni.Packet) {})
+			h := r.ams[0].Register(func(*ni.Packet) {})
 			r.ams[0].Request(1, h, [4]uint64{9}, 0, nil)
 		},
 		func(p *sim.Proc, r *relRig) {
-			r.ams[1].Register(func(ni.Packet) { delivered++ })
+			r.ams[1].Register(func(*ni.Packet) { delivered++ })
 		})
 	if err := rig.eng.Run(); err != nil {
 		t.Fatalf("run aborted: %v", err)
@@ -226,12 +226,12 @@ func TestTotalLossStarvesWithStructuredError(t *testing.T) {
 	plan := faults.Uniform(1, faults.Rates{Drop: 1})
 	rig := newRelRig(t, plan,
 		func(p *sim.Proc, r *relRig) {
-			h := r.ams[0].Register(func(ni.Packet) {})
+			h := r.ams[0].Register(func(*ni.Packet) {})
 			r.ams[0].Request(1, h, [4]uint64{1}, 0, nil)
 			r.rels[0].Flush() // can never succeed; must abort, not hang
 		},
 		func(p *sim.Proc, r *relRig) {
-			r.ams[1].Register(func(ni.Packet) {})
+			r.ams[1].Register(func(*ni.Packet) {})
 		})
 	err := rig.eng.Run()
 	var se *faults.StarvationError
@@ -254,13 +254,13 @@ func TestWindowBackpressureBlocksSender(t *testing.T) {
 	const n = 300 // Window defaults to 64
 	rig := newRelRig(t, nil,
 		func(p *sim.Proc, r *relRig) {
-			h := r.ams[0].Register(func(ni.Packet) {})
+			h := r.ams[0].Register(func(*ni.Packet) {})
 			for i := 0; i < n; i++ {
 				r.ams[0].Request(1, h, [4]uint64{uint64(i)}, 0, nil)
 			}
 		},
 		func(p *sim.Proc, r *relRig) {
-			r.ams[1].Register(func(pkt ni.Packet) { got = append(got, pkt.Args[0]) })
+			r.ams[1].Register(func(pkt *ni.Packet) { got = append(got, pkt.Args[0]) })
 		})
 	if err := rig.eng.Run(); err != nil {
 		t.Fatalf("run aborted: %v", err)

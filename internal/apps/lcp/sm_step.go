@@ -1,0 +1,323 @@
+package lcp
+
+import (
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/machine"
+	"repro/internal/memsim"
+	"repro/internal/parmacs"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+)
+
+// lcpSMShared is the shared problem state established by node 0.
+type lcpSMShared struct {
+	zg    memsim.FVec
+	stale *memsim.StaleVec
+	red   *parmacs.Reduction
+	done  memsim.IVec
+}
+
+// RunSMStep runs the synchronous LCP-SM variant in step (continuation)
+// form: runSM's sync path rewritten as an explicit state machine,
+// fingerprint-identical to the coroutine form. The asynchronous variant
+// (ALCP-SM) stays coroutine-only.
+func RunSMStep(cfg cost.Config, par Params) *Output {
+	out := &Output{}
+	pr := genProblem(par)
+	procs := cfg.Procs
+	rpp := rowsPerProc(par.N, procs)
+
+	var sh lcpSMShared
+
+	out.Res = machine.NewSMStep(cfg, parmacs.RoundRobin, func(nd *machine.SMNode) func(*sim.Proc) sim.StepStatus {
+		s := newSMStep(nd, pr, par, rpp, out, &sh)
+		return s.step
+	}).Run()
+
+	if out.Res.Err == nil {
+		zfinal := append([]float64(nil), sh.zg.V...)
+		out.Z = zfinal
+		out.Residual = pr.validate(zfinal)
+	}
+	return out
+}
+
+// Program-counter states of the LCP-SM step machine, in program order.
+const (
+	lsCreate = iota
+	lsBarrier0
+	lsWriteVals
+	lsWriteCols
+	lsWriteZg
+	lsBarrier1
+	lsZPrev
+	lsRefresh
+	lsSweep
+	lsPubRead
+	lsPubWrite
+	lsNorm
+	lsReduce
+	lsDoneSet
+	lsBarrier2
+	lsDoneGet
+	lsBarrier3
+)
+
+type smStep struct {
+	nd  *machine.SMNode
+	pr  *problem
+	par Params
+	rpp int
+	lo  int
+	out *Output
+	sh  *lcpSMShared
+
+	mvals, zloc memsim.FVec
+	zprev       memsim.FVec
+	mcols       memsim.IVec
+
+	pc     int
+	stepNo int
+	swp    int
+	r      int
+	sub    uint8
+	k      int
+	zi     float64
+	acc    float64
+	norm   float64
+	total  float64
+
+	rds parmacs.RedStep
+}
+
+// newSMStep does the host-side setup. Node 0 also establishes the shared
+// vectors here — its first dispatch; other nodes touch sh only after their
+// StepWaitCreate completes, which node 0's Create must precede.
+func newSMStep(nd *machine.SMNode, pr *problem, par Params, rpp int, out *Output, sh *lcpSMShared) *smStep {
+	me := nd.ID
+	s := &smStep{nd: nd, pr: pr, par: par, rpp: rpp, lo: me * rpp,
+		out: out, sh: sh, stepNo: 1}
+	if me == 0 {
+		sh.zg = nd.RT.GMallocF(0, par.N)
+		sh.stale = memsim.NewStaleVec(nd.P.Engine(), &sh.zg, nd.Cfg.Procs)
+		sh.done = nd.RT.GMallocI(0, 1)
+		sh.red = parmacs.NewReduction(nd.RT)
+	}
+	s.mvals = nd.AllocF(rpp * par.NNZ)
+	s.mcols = nd.AllocI(rpp * par.NNZ)
+	s.zloc = nd.AllocF(par.N)
+	s.zprev = nd.AllocF(rpp)
+	return s
+}
+
+func (s *smStep) step(p *sim.Proc) sim.StepStatus {
+	nd, sh := s.nd, s.sh
+	m := nd.Mem
+	me := nd.ID
+	par, rpp, lo := s.par, s.rpp, s.lo
+	for {
+		switch s.pc {
+		case lsCreate:
+			if me == 0 {
+				nd.RT.Create(p)
+			} else if !nd.RT.StepWaitCreate(p) {
+				return sim.StepYield
+			}
+			s.pc = lsBarrier0
+		case lsBarrier0:
+			if !nd.RT.StepBarrier(p) {
+				return sim.StepYield
+			}
+			// Same simulated point as the coroutine form's registration.
+			nd.OnState(func(enc *snapshot.Enc) {
+				if me == 0 {
+					enc.F64s(sh.zg.V)
+					enc.I64s(sh.done.V)
+				}
+				enc.F64s(s.zloc.V)
+				enc.F64s(s.zprev.V)
+			})
+			for r := 0; r < rpp; r++ {
+				gi := lo + r
+				copy(s.mvals.V[r*par.NNZ:], s.pr.vals[gi])
+				for k, c := range s.pr.cols[gi] {
+					s.mcols.V[r*par.NNZ+k] = int64(c)
+				}
+				nd.Compute(int64(cSetup * par.NNZ))
+			}
+			s.pc = lsWriteVals
+		case lsWriteVals:
+			if !s.mvals.StepWriteRange(m, 0, s.mvals.Len()) {
+				return sim.StepYield
+			}
+			s.pc = lsWriteCols
+		case lsWriteCols:
+			if !s.mcols.StepWriteRange(m, 0, s.mcols.Len()) {
+				return sim.StepYield
+			}
+			s.pc = lsWriteZg
+		case lsWriteZg:
+			if !sh.zg.StepWriteRange(m, lo, lo+rpp) {
+				return sim.StepYield
+			}
+			s.pc = lsBarrier1
+		case lsBarrier1:
+			if !nd.RT.StepBarrier(p) {
+				return sim.StepYield
+			}
+			s.pc = lsZPrev
+		case lsZPrev:
+			for r := 0; r < rpp; r++ { // idempotent: my zg segment is stable here
+				s.zprev.V[r] = sh.zg.V[lo+r]
+			}
+			if !s.zprev.StepWriteRange(m, 0, rpp) {
+				return sim.StepYield
+			}
+			s.pc = lsRefresh
+		case lsRefresh:
+			for r := 0; r < rpp; r++ {
+				s.zloc.V[lo+r] = sh.zg.V[lo+r]
+			}
+			if !s.zloc.StepWriteRange(m, lo, lo+rpp) {
+				return sim.StepYield
+			}
+			s.swp, s.r, s.sub = 0, 0, 0
+			s.pc = lsSweep
+		case lsSweep:
+			if !s.stepSweeps() {
+				return sim.StepYield
+			}
+			s.pc = lsPubRead
+		case lsPubRead:
+			if !s.zloc.StepReadRange(m, lo, lo+rpp) {
+				return sim.StepYield
+			}
+			s.pc = lsPubWrite
+		case lsPubWrite:
+			for r := 0; r < rpp; r++ { // idempotent: zloc is stable here
+				sh.zg.V[lo+r] = s.zloc.V[lo+r]
+			}
+			if !sh.zg.StepWriteRange(m, lo, lo+rpp) {
+				return sim.StepYield
+			}
+			nd.Compute(int64(rpp) * 2)
+			nd.Compute(cStep)
+			s.pc = lsNorm
+		case lsNorm:
+			if !s.zprev.StepReadRange(m, 0, rpp) {
+				return sim.StepYield
+			}
+			norm := 0.0
+			for r := 0; r < rpp; r++ {
+				norm += math.Abs(sh.zg.V[lo+r] - s.zprev.V[r])
+			}
+			s.norm = norm
+			nd.Compute(int64(rpp) * cNorm)
+			s.pc = lsReduce
+		case lsReduce:
+			total, _, ok := sh.red.StepReduce(&s.rds, m, s.norm, 0, parmacs.OpSum, parmacs.SyncCats)
+			if !ok {
+				return sim.StepYield
+			}
+			s.total = total
+			s.pc = lsDoneSet
+		case lsDoneSet:
+			if me == 0 {
+				d := int64(0)
+				if s.total < par.Tol {
+					d = 1
+				}
+				if !sh.done.StepSet(m, 0, d) {
+					return sim.StepYield
+				}
+			}
+			s.pc = lsBarrier2
+		case lsBarrier2:
+			if !nd.RT.StepBarrier(p) {
+				return sim.StepYield
+			}
+			s.pc = lsDoneGet
+		case lsDoneGet:
+			v, ok := sh.done.StepGet(m, 0)
+			if !ok {
+				return sim.StepYield
+			}
+			if v == 0 && s.stepNo < par.MaxSteps {
+				s.stepNo++
+				s.pc = lsZPrev
+				continue
+			}
+			s.pc = lsBarrier3
+		case lsBarrier3:
+			if !nd.RT.StepBarrier(p) {
+				return sim.StepYield
+			}
+			if me == 0 {
+				s.out.Steps = s.stepNo
+			}
+			return sim.StepDone
+		}
+	}
+}
+
+// stepSweeps mirrors the sync sweep loops: own entries come from the
+// private buffer; remote entries are demand-fetched from the shared vector
+// with cache staleness. The buffer mutates exactly once per row, after the
+// row's last access completes.
+func (s *smStep) stepSweeps() bool {
+	m := s.nd.Mem
+	par, lo := s.par, s.lo
+	nnz := par.NNZ
+	for {
+		if s.r >= s.rpp {
+			s.r = 0
+			s.swp++
+			if s.swp >= par.Sweeps {
+				return true
+			}
+		}
+		gi := lo + s.r
+		switch s.sub {
+		case 0:
+			if !s.mvals.StepReadRange(m, s.r*nnz, (s.r+1)*nnz) {
+				return false
+			}
+			s.sub = 1
+		case 1:
+			if !s.mcols.StepReadRange(m, s.r*nnz, (s.r+1)*nnz) {
+				return false
+			}
+			s.zi = s.zloc.V[gi]
+			s.acc = s.pr.q[gi] + s.pr.diag[gi]*s.zi
+			s.k = 0
+			s.sub = 2
+		case 2:
+			cols := s.pr.cols[gi]
+			vals := s.pr.vals[gi]
+			for s.k < len(cols) {
+				ci := int(cols[s.k])
+				if ci >= lo && ci < lo+s.rpp {
+					s.acc += vals[s.k] * s.zloc.V[ci]
+					s.k++
+					continue
+				}
+				v, ok := s.sh.stale.StepGet(m, ci)
+				if !ok {
+					return false
+				}
+				s.acc += vals[s.k] * v
+				s.k++
+			}
+			nz := s.zi - par.Omega*s.acc/s.pr.diag[gi]
+			if nz < 0 {
+				nz = 0
+			}
+			s.zloc.V[gi] = nz
+			s.nd.Compute(cRow + int64(nnz)*cElem)
+			s.r++
+			s.sub = 0
+		}
+	}
+}

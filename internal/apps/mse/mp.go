@@ -86,7 +86,7 @@ func RunMP(cfg cost.Config, shape cmmd.Shape, par Params) *Output {
 			nd.EP.ChannelWriteF(r.from, chanOn(r.from, me), &scratch, 0, epp)
 			served++
 		}
-		hReq := nd.AM.Register(func(pkt ni.Packet) {
+		hReq := nd.AM.Register(func(pkt *ni.Packet) {
 			r := reqT{from: int(pkt.Args[0]), iter: int(pkt.Args[1])}
 			if pubIter >= r.iter-1 {
 				reply(r)

@@ -238,7 +238,7 @@ func TestAMRequestDispatchesAppHandler(t *testing.T) {
 		// SPMD discipline: both nodes register the handler first, so ids
 		// agree. The sender's packet cannot arrive before the receiver's
 		// registration at clock 0 (minimum one network latency).
-		h := n.AM.Register(func(pkt ni.Packet) {
+		h := n.AM.Register(func(pkt *ni.Packet) {
 			handled = math.Float64frombits(pkt.Args[0])
 		})
 		if n.ID == 0 {

@@ -261,7 +261,7 @@ func (c *Comm) redState(seq int64) *redState {
 	return st
 }
 
-func (c *Comm) onUp(pkt ni.Packet) {
+func (c *Comm) onUp(pkt *ni.Packet) {
 	seq := int64(pkt.Args[0])
 	op := ReduceOp(pkt.Args[3])
 	st := c.redState(seq)
@@ -322,7 +322,7 @@ func (c *Comm) Reduce(root int, val float64, idx int64, op ReduceOp) (float64, i
 
 // --- scalar broadcast ---
 
-func (c *Comm) onDown(pkt ni.Packet) {
+func (c *Comm) onDown(pkt *ni.Packet) {
 	seq := int64(pkt.Args[0])
 	st := c.bc[seq]
 	if st == nil {
@@ -375,7 +375,7 @@ func (c *Comm) bcastPair(root int, val float64, idx int64, dataBytes int) (float
 
 // --- vector broadcast ---
 
-func (c *Comm) onVec(pkt ni.Packet) {
+func (c *Comm) onVec(pkt *ni.Packet) {
 	seq := int64(pkt.Args[0])
 	st := c.vec[seq]
 	if st == nil {
@@ -454,7 +454,7 @@ func (c *Comm) BcastVecF(root int, vec *memsim.FVec, lo, hi int) {
 			for _, dst := range dsts {
 				p.ChargeStall(stats.LibComp, ep.Cfg.CMMDPerPacket)
 				pkt.Dst = dst
-				ep.AM.SendPacket(pkt)
+				ep.AM.SendPacket(&pkt)
 			}
 		}
 	}

@@ -170,7 +170,7 @@ func (ep *Endpoint) openRecv(base uint64, words, elemBytes int, store func(int, 
 // onData is the data-packet handler: it stores the payload words into the
 // channel's buffer (through the cache — library misses are real) and counts
 // transfer progress.
-func (ep *Endpoint) onData(pkt ni.Packet) {
+func (ep *Endpoint) onData(pkt *ni.Packet) {
 	ch := ep.recvCh[int(pkt.Args[0])]
 	off := int(pkt.Args[1])
 	ep.Mem.WriteRange(ch.baseAddr+uint64(off*ch.elemBytes),
@@ -231,7 +231,7 @@ func (ep *Endpoint) channelWrite(dst, chID int, words []uint64, srcAddr uint64, 
 			DataBytes: (end - off) * elemBytes,
 		}
 		pkt.SetPayload(words[off:end])
-		ep.AM.SendPacket(pkt)
+		ep.AM.SendPacket(&pkt)
 	}
 }
 
@@ -243,7 +243,7 @@ func (ep *Endpoint) WaitChannel(ch *RecvChannel, n int64) {
 // --- High-level send/receive (RTS/CTS handshake) ---
 
 // onRTS queues or answers a sender's request-to-send.
-func (ep *Endpoint) onRTS(pkt ni.Packet) {
+func (ep *Endpoint) onRTS(pkt *ni.Packet) {
 	tag := int(pkt.Args[0])
 	words := int(pkt.Args[1])
 	if chs := ep.postedRecvs[tag]; len(chs) > 0 {
@@ -264,7 +264,7 @@ func (ep *Endpoint) grantCTS(src int, ch *RecvChannel, words int) {
 }
 
 // onCTS records a clear-to-send grant for a pending send.
-func (ep *Endpoint) onCTS(pkt ni.Packet) {
+func (ep *Endpoint) onCTS(pkt *ni.Packet) {
 	ep.ctsGrants[pkt.Src] = append(ep.ctsGrants[pkt.Src], int(pkt.Args[0]))
 }
 

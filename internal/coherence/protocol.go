@@ -93,6 +93,10 @@ type node struct {
 	// evPool recycles events this node's processor schedules from processor
 	// context (request issue, evictions, flush hints).
 	evPool cohPool
+
+	// pend is the node's in-flight step-form requester transaction (see
+	// step.go); unused when the processor runs as a coroutine.
+	pend stepPend
 }
 
 // New creates the protocol for cfg.Procs nodes.

@@ -353,8 +353,8 @@ func (c *Config) PrivateMissTotal() int64 { return c.PrivateMissCycles + c.DRAMC
 // Validate reports whether the configuration is internally consistent.
 func (c *Config) Validate() error {
 	switch {
-	case c.Procs < 1 || c.Procs > 1024:
-		return errf("procs %d out of range [1,1024]", c.Procs)
+	case c.Procs < 1 || c.Procs > 4096:
+		return errf("procs %d out of range [1,4096]", c.Procs)
 	case c.BlockBytes <= 0 || c.BlockBytes&(c.BlockBytes-1) != 0:
 		return errf("block size %d must be a positive power of two", c.BlockBytes)
 	case c.CacheBytes%(c.BlockBytes*c.CacheAssoc) != 0:

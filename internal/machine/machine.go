@@ -102,9 +102,35 @@ type MPMachine struct {
 	Comb *sim.Combiner
 }
 
+// StepProgramMP builds one node's step function: called lazily at the
+// node's first dispatch (engine context, quantum zero — where the
+// coroutine form's program body starts), it does the host-side setup and
+// returns the continuation the engine then calls once per quantum.
+type StepProgramMP func(n *MPNode) func(*sim.Proc) sim.StepStatus
+
+// NewMPStep builds a message-passing machine whose application processors
+// run in step (continuation) form: no goroutine, no gate channel — the
+// engine calls each node's step function directly, and the step returns
+// sim.StepYield where the coroutine form would suspend. Incompatible with
+// fault injection (the reliable transport blocks inside the AM layer) and
+// with hardware combining (Combiner.Wait blocks); the runner gates both.
+func NewMPStep(cfg cost.Config, shape cmmd.Shape, program StepProgramMP) *MPMachine {
+	if cfg.Faults != nil {
+		panic("machine: step processors are incompatible with fault injection")
+	}
+	if cfg.HWCombining {
+		panic("machine: step processors are incompatible with hardware combining")
+	}
+	return buildMP(cfg, shape, nil, program)
+}
+
 // NewMP builds a message-passing machine with the given collective tree
 // shape; program runs on every node.
 func NewMP(cfg cost.Config, shape cmmd.Shape, program func(n *MPNode)) *MPMachine {
+	return buildMP(cfg, shape, program, nil)
+}
+
+func buildMP(cfg cost.Config, shape cmmd.Shape, program func(n *MPNode), stepProgram StepProgramMP) *MPMachine {
 	if err := cfg.Validate(); err != nil {
 		panic("machine: " + err.Error())
 	}
@@ -135,12 +161,23 @@ func NewMP(cfg cost.Config, shape cmmd.Shape, program func(n *MPNode)) *MPMachin
 	m.Nodes = make([]*MPNode, c.Procs)
 	for i := 0; i < c.Procs; i++ {
 		i := i
-		p := eng.AddProc(func(*sim.Proc) {
-			program(m.Nodes[i])
-			if rel := m.Nodes[i].AM.Rel(); rel != nil {
-				rel.Shutdown()
-			}
-		})
+		var p *sim.Proc
+		if stepProgram != nil {
+			var stepFn func(*sim.Proc) sim.StepStatus
+			p = eng.AddStepProc(func(sp *sim.Proc) sim.StepStatus {
+				if stepFn == nil {
+					stepFn = stepProgram(m.Nodes[i])
+				}
+				return stepFn(sp)
+			})
+		} else {
+			p = eng.AddProc(func(*sim.Proc) {
+				program(m.Nodes[i])
+				if rel := m.Nodes[i].AM.Rel(); rel != nil {
+					rel.Shutdown()
+				}
+			})
+		}
 		mem := memsim.NewMem(p, &c, seedFor(i))
 		nif := net.Attach(p)
 		a := am.New(nif)
@@ -229,9 +266,30 @@ type SMMachine struct {
 	Nodes []*SMNode
 }
 
+// StepProgramSM is StepProgramMP for the shared-memory machine.
+type StepProgramSM func(n *SMNode) func(*sim.Proc) sim.StepStatus
+
+// NewSMStep builds a shared-memory machine whose application processors
+// run in step form; see NewMPStep. Incompatible with control-message fault
+// injection and hardware combining (the runner gates both; the checker and
+// watchdog remain available).
+func NewSMStep(cfg cost.Config, policy parmacs.Policy, program StepProgramSM) *SMMachine {
+	if cfg.SMFaults != nil {
+		panic("machine: step processors are incompatible with control-fault injection")
+	}
+	if cfg.HWCombining {
+		panic("machine: step processors are incompatible with hardware combining")
+	}
+	return buildSM(cfg, policy, nil, program)
+}
+
 // NewSM builds a shared-memory machine with the given allocation policy;
 // program runs on every node.
 func NewSM(cfg cost.Config, policy parmacs.Policy, program func(n *SMNode)) *SMMachine {
+	return buildSM(cfg, policy, program, nil)
+}
+
+func buildSM(cfg cost.Config, policy parmacs.Policy, program func(n *SMNode), stepProgram StepProgramSM) *SMMachine {
 	if err := cfg.Validate(); err != nil {
 		panic("machine: " + err.Error())
 	}
@@ -264,7 +322,18 @@ func NewSM(cfg cost.Config, policy parmacs.Policy, program func(n *SMNode)) *SMM
 	m.Nodes = make([]*SMNode, c.Procs)
 	for i := 0; i < c.Procs; i++ {
 		i := i
-		p := eng.AddProc(func(*sim.Proc) { program(m.Nodes[i]) })
+		var p *sim.Proc
+		if stepProgram != nil {
+			var stepFn func(*sim.Proc) sim.StepStatus
+			p = eng.AddStepProc(func(sp *sim.Proc) sim.StepStatus {
+				if stepFn == nil {
+					stepFn = stepProgram(m.Nodes[i])
+				}
+				return stepFn(sp)
+			})
+		} else {
+			p = eng.AddProc(func(*sim.Proc) { program(m.Nodes[i]) })
+		}
 		mem := memsim.NewMem(p, &c, seedFor(i))
 		pr.AttachMem(i, mem)
 		m.Nodes[i] = &SMNode{

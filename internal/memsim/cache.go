@@ -36,22 +36,28 @@ type Line struct {
 	State uint8
 }
 
-// A line is stored packed in one word: block number in the upper 62 bits,
-// state in the low 2. Padding made the two-field Line struct 16 bytes, so
-// packing halves every tag table — 64 KB per simulated processor at the
-// paper's 256 KB/4-way/32 B geometry, which at P=1024 is the difference
-// between the tag state fitting in cache-friendly memory or not. A packed
-// word of 0 is exactly an Invalid line (state bits 00), so zeroed storage
-// needs no initialization.
+// A line is stored packed in one word: block number plus one in the upper
+// 62 bits, state in the low 2. Padding made the two-field Line struct 16
+// bytes, so packing halves every tag table — 64 KB per simulated processor
+// at the paper's 256 KB/4-way/32 B geometry, which at P=1024 is the
+// difference between the tag state fitting in cache-friendly memory or not.
+// A packed word of 0 is exactly an Invalid line, and the +1 tag bias keeps
+// that true for block 0 as well: a zero word can never equal any valid
+// line's tag bits, so the tag-match loops in Lookup and friends need no
+// separate validity test — the single hottest comparison in the simulator.
 type packedLine uint64
 
 func packLine(block uint64, state uint8) packedLine {
-	return packedLine(block<<2 | uint64(state))
+	return packedLine((block+1)<<2 | uint64(state))
 }
 
-func (l packedLine) block() uint64 { return uint64(l) >> 2 }
+// tagBits returns the match key for block: what a resident line's word
+// looks like with the state bits cleared. Never zero, by the +1 bias.
+func tagBits(block uint64) uint64 { return (block + 1) << 2 }
+
+func (l packedLine) block() uint64 { return uint64(l)>>2 - 1 }
 func (l packedLine) state() uint8  { return uint8(l & 3) }
-func (l packedLine) valid() bool   { return l&3 != 0 }
+func (l packedLine) valid() bool   { return l>>2 != 0 }
 
 func (l packedLine) unpack() Line {
 	if !l.valid() {
@@ -112,9 +118,9 @@ func (c *Cache) set(block uint64) []packedLine {
 
 // Lookup returns the state of block in the cache (Invalid if absent).
 func (c *Cache) Lookup(block uint64) uint8 {
-	want := block << 2
+	want := tagBits(block)
 	for _, l := range c.set(block) {
-		if l.valid() && uint64(l)&^3 == want {
+		if uint64(l)&^3 == want {
 			return l.state()
 		}
 	}
@@ -125,8 +131,9 @@ func (c *Cache) Lookup(block uint64) uint8 {
 // not resident (protocol bugs should fail loudly).
 func (c *Cache) SetState(block uint64, state uint8) {
 	ws := c.set(block)
+	want := tagBits(block)
 	for i := range ws {
-		if ws[i].valid() && ws[i].block() == block {
+		if uint64(ws[i])&^3 == want {
 			if state == Invalid {
 				ws[i] = 0
 			} else {
@@ -143,8 +150,9 @@ func (c *Cache) SetState(block uint64, state uint8) {
 // send invalidations for blocks a cache has already dropped).
 func (c *Cache) Invalidate(block uint64) uint8 {
 	ws := c.set(block)
+	want := tagBits(block)
 	for i := range ws {
-		if ws[i].valid() && ws[i].block() == block {
+		if uint64(ws[i])&^3 == want {
 			st := ws[i].state()
 			ws[i] = 0
 			return st

@@ -30,6 +30,20 @@ type SharedHandler interface {
 	Flush(m *Mem, victim Line, cat stats.Category)
 }
 
+// StepSharedHandler is the step-processor face of a coherence layer: each
+// method begins or resumes a miss transaction without suspending a
+// goroutine. A false return means the requesting processor blocked (the
+// step must return sim.StepYield); the re-invocation that finds a wake
+// pending consumes it and finishes the transaction. Implemented by
+// coherence.Protocol.
+type StepSharedHandler interface {
+	SharedHandler
+	// StepReadMiss begins/resumes fetching a readable copy of block.
+	StepReadMiss(m *Mem, block uint64) bool
+	// StepWriteAccess begins/resumes obtaining a writable copy.
+	StepWriteAccess(m *Mem, block uint64, resident uint8) bool
+}
+
 // Mem is one processor's memory-system front end: TLB + cache + (on the
 // shared-memory machine) the coherence handler. Cache hits are free —
 // instruction time lives in the applications' calibrated computation
@@ -44,6 +58,14 @@ type Mem struct {
 
 	// Refs counts simulated references (reads+writes), for tests.
 	Refs int64
+
+	// stepSh caches the Shared handler's step interface (step form only).
+	stepSh StepSharedHandler
+	// stepRange is the resumable cursor of an in-progress Step*Range walk:
+	// the next block address to access. Step processors are serial, so one
+	// cursor per Mem suffices.
+	stepRange   uint64
+	stepRangeOn bool
 }
 
 // NewMem builds the memory system for proc p. rngSeed feeds the cache's
@@ -160,6 +182,148 @@ func (m *Mem) WriteRange(addr uint64, bytes int) {
 	for a := addr &^ (bs - 1); a < end; a += bs {
 		m.Write(a)
 	}
+}
+
+// Step-processor access forms. Each mirrors its coroutine twin exactly:
+// the StepInteract check sits where the coroutine's Interact sits, every
+// charge lands at the same clock, and a blocking shared miss suspends at
+// the same point — so the two forms produce bit-identical statistics at
+// every quantum boundary. A false return means "not done, nothing further
+// mutated": the step returns sim.StepYield and re-invokes the same call
+// with the same arguments when redispatched.
+
+// stepShared returns the coherence layer's step interface, caching the
+// assertion. Panics if the attached handler has no step form.
+func (m *Mem) stepShared() StepSharedHandler {
+	if m.stepSh == nil {
+		m.stepSh = m.Shared.(StepSharedHandler)
+	}
+	return m.stepSh
+}
+
+// StepRead is Read for step processors.
+func (m *Mem) StepRead(addr uint64) bool {
+	done, _ := m.StepReadTrack(addr)
+	return done
+}
+
+// StepReadTrack is ReadTrack for step processors: done reports whether the
+// access completed, and missed (valid only when done) whether it missed.
+// A resumed access always reports missed — only a shared miss blocks.
+func (m *Mem) StepReadTrack(addr uint64) (done, missed bool) {
+	p := m.P
+	if p.WakePending() {
+		// Resuming the shared-miss transaction this access issued.
+		if !m.stepShared().StepReadMiss(m, m.Cache.BlockOf(addr)) {
+			return false, true
+		}
+		return true, true
+	}
+	if !p.StepInteract() {
+		return false, false
+	}
+	m.Refs++
+	m.translate(addr)
+	block := m.Cache.BlockOf(addr)
+	if m.Cache.Lookup(block) != Invalid {
+		return true, false // hit
+	}
+	if m.Shared != nil && IsShared(addr) {
+		m.stepShared().StepReadMiss(m, block) // issues and blocks
+		return false, true
+	}
+	m.privateMiss(block)
+	return true, true
+}
+
+// StepWrite is Write for step processors, preserving the ownership-retry
+// loop: after a grant the line is re-checked, and a stolen line re-acquires
+// ownership exactly as the coroutine form does.
+func (m *Mem) StepWrite(addr uint64) bool {
+	p := m.P
+	block := m.Cache.BlockOf(addr)
+	if p.WakePending() {
+		if !m.stepShared().StepWriteAccess(m, block, Invalid) {
+			return false
+		}
+		// Grant installed; verify ownership survived until retirement.
+	} else {
+		if !p.StepInteract() {
+			return false
+		}
+		m.Refs++
+		m.translate(addr)
+	}
+	for {
+		st := m.Cache.Lookup(block)
+		if st == Modified {
+			return true
+		}
+		if m.Shared != nil && IsShared(addr) {
+			m.stepShared().StepWriteAccess(m, block, st) // issues and blocks
+			return false
+		}
+		m.privateMiss(block)
+		return true
+	}
+}
+
+// StepReadRange is ReadRange for step processors: the block cursor is held
+// in the Mem, so a blocked access resumes mid-range.
+func (m *Mem) StepReadRange(addr uint64, bytes int) bool {
+	return m.stepRangeWalk(addr, bytes, false)
+}
+
+// StepWriteRange is WriteRange for step processors.
+func (m *Mem) StepWriteRange(addr uint64, bytes int) bool {
+	return m.stepRangeWalk(addr, bytes, true)
+}
+
+func (m *Mem) stepRangeWalk(addr uint64, bytes int, write bool) bool {
+	if bytes <= 0 {
+		return true
+	}
+	bs := uint64(m.Cfg.BlockBytes)
+	end := addr + uint64(bytes)
+	if !m.stepRangeOn {
+		m.stepRangeOn = true
+		m.stepRange = addr &^ (bs - 1)
+	}
+	for m.stepRange < end {
+		if write {
+			if !m.StepWrite(m.stepRange) {
+				return false
+			}
+		} else {
+			if !m.StepRead(m.stepRange) {
+				return false
+			}
+		}
+		m.stepRange += bs
+	}
+	m.stepRangeOn = false
+	return true
+}
+
+// StepFlushBlock is FlushBlock for step processors. Flushes never block
+// (dirty writebacks travel as staged events), so the only suspension point
+// is the entry Interact.
+func (m *Mem) StepFlushBlock(addr uint64) bool {
+	if !m.P.StepInteract() {
+		return false
+	}
+	block := m.Cache.BlockOf(addr)
+	st := m.Cache.Lookup(block)
+	if st == Invalid {
+		return true
+	}
+	line := Line{Tag: block, State: st}
+	m.Cache.Invalidate(block)
+	if m.Shared != nil && IsShared(addr) {
+		cat, _ := m.P.MissCategory()
+		m.Shared.Flush(m, line, cat)
+	}
+	return true
 }
 
 // FlushBlock removes a block containing addr from the cache (the software

@@ -106,6 +106,32 @@ func (s *StaleVec) Set(m *Mem, i int, x float64) {
 	s.refreshBlock(m, i)
 }
 
+// StepGet is Get for step processors; the value is valid only when done.
+// A resumed access refreshes from the same boundary image the coroutine
+// form would see — both forms resume in the quantum of the wake.
+func (s *StaleVec) StepGet(m *Mem, i int) (float64, bool) {
+	done, missed := m.StepReadTrack(s.G.Addr(i))
+	if !done {
+		return 0, false
+	}
+	if missed {
+		s.refreshBlock(m, i)
+	}
+	return s.snap[m.P.ID][i], true
+}
+
+// StepSet is Set for step processors: backing write, write log, and
+// snapshot refresh all happen exactly once, on the completing call.
+func (s *StaleVec) StepSet(m *Mem, i int, x float64) bool {
+	if !m.StepWrite(s.G.Addr(i)) {
+		return false
+	}
+	s.G.V[i] = x
+	s.wlog[m.P.ID] = append(s.wlog[m.P.ID], i)
+	s.refreshBlock(m, i)
+	return true
+}
+
 // Local returns processor p's current view (for norms over owned segments).
 func (s *StaleVec) Local(p int) []float64 { return s.snap[p] }
 

@@ -65,6 +65,34 @@ func (v *FVec) WriteRange(m *Mem, lo, hi int) {
 	m.WriteRange(v.Addr(lo), (hi-lo)*v.ElemBytes)
 }
 
+// StepGet is Get for step processors; the value is valid only when done.
+func (v *FVec) StepGet(m *Mem, i int) (float64, bool) {
+	if !m.StepRead(v.Addr(i)) {
+		return 0, false
+	}
+	return v.V[i], true
+}
+
+// StepSet is Set for step processors: the backing store mutates exactly
+// once, on the completing call.
+func (v *FVec) StepSet(m *Mem, i int, x float64) bool {
+	if !m.StepWrite(v.Addr(i)) {
+		return false
+	}
+	v.V[i] = x
+	return true
+}
+
+// StepReadRange is ReadRange for step processors.
+func (v *FVec) StepReadRange(m *Mem, lo, hi int) bool {
+	return m.StepReadRange(v.Addr(lo), (hi-lo)*v.ElemBytes)
+}
+
+// StepWriteRange is WriteRange for step processors.
+func (v *FVec) StepWriteRange(m *Mem, lo, hi int) bool {
+	return m.StepWriteRange(v.Addr(lo), (hi-lo)*v.ElemBytes)
+}
+
 // IVec binds a real []int64 to simulated addresses; see FVec.
 type IVec struct {
 	Base uint64
@@ -105,4 +133,31 @@ func (v *IVec) ReadRange(m *Mem, lo, hi int) {
 // WriteRange simulates streaming stores of elements [lo, hi).
 func (v *IVec) WriteRange(m *Mem, lo, hi int) {
 	m.WriteRange(v.Addr(lo), (hi-lo)*WordBytes)
+}
+
+// StepGet is Get for step processors; the value is valid only when done.
+func (v *IVec) StepGet(m *Mem, i int) (int64, bool) {
+	if !m.StepRead(v.Addr(i)) {
+		return 0, false
+	}
+	return v.V[i], true
+}
+
+// StepSet is Set for step processors.
+func (v *IVec) StepSet(m *Mem, i int, x int64) bool {
+	if !m.StepWrite(v.Addr(i)) {
+		return false
+	}
+	v.V[i] = x
+	return true
+}
+
+// StepReadRange is ReadRange for step processors.
+func (v *IVec) StepReadRange(m *Mem, lo, hi int) bool {
+	return m.StepReadRange(v.Addr(lo), (hi-lo)*WordBytes)
+}
+
+// StepWriteRange is WriteRange for step processors.
+func (v *IVec) StepWriteRange(m *Mem, lo, hi int) bool {
+	return m.StepWriteRange(v.Addr(lo), (hi-lo)*WordBytes)
 }

@@ -139,8 +139,10 @@ func (ni *NI) qlen() int { return len(ni.inq) - ni.inqHead }
 func (ni *NI) qhead() *Packet { return &ni.inq[ni.inqHead] }
 
 func (ni *NI) qpop() Packet {
+	// The consumed slot is left as-is: Packet is pointer-free, so stale
+	// slots retain nothing, and skipping the clear avoids a 128-byte
+	// duffzero per receive on the hottest message path.
 	pkt := ni.inq[ni.inqHead]
-	ni.inq[ni.inqHead] = Packet{}
 	ni.inqHead++
 	if ni.inqHead == len(ni.inq) {
 		ni.inq = ni.inq[:0]
@@ -171,11 +173,92 @@ func (ni *NI) Status() bool {
 	return ni.qlen() > 0 && ni.qhead().Arrive <= ni.P.Clock()
 }
 
+// StepStatus is Status for step processors: avail is valid only when done.
+// A false done means nothing was charged; re-invoke when redispatched.
+func (ni *NI) StepStatus() (avail, done bool) {
+	p := ni.P
+	if !p.StepInteract() {
+		return false, false
+	}
+	p.ChargeStall(stats.NetAccess, ni.Cfg.NIStatusCycles)
+	return ni.qlen() > 0 && ni.qhead().Arrive <= p.Clock(), true
+}
+
+// StepRecv is TryRecv for step processors, on the path where Status already
+// said a packet is available (the step-form poll never loads an empty FIFO).
+// The packet is popped into dst, the caller's resumable frame — one 128-byte
+// move instead of a pop-return-assign chain.
+func (ni *NI) StepRecv(dst *Packet) bool {
+	p := ni.P
+	if !p.StepInteract() {
+		return false
+	}
+	if ni.qlen() == 0 || ni.qhead().Arrive > p.Clock() {
+		panic("ni: step recv with no packet available")
+	}
+	p.ChargeStall(stats.NetAccess, ni.Cfg.NIRecvCycles)
+	*dst = *ni.qhead()
+	ni.inqHead++
+	if ni.inqHead == len(ni.inq) {
+		ni.inq = ni.inq[:0]
+		ni.inqHead = 0
+	} else if ni.inqHead > 1024 && ni.inqHead*2 > len(ni.inq) {
+		n := copy(ni.inq, ni.inq[ni.inqHead:])
+		ni.inq = ni.inq[:n]
+		ni.inqHead = 0
+	}
+	return true
+}
+
+// StepWaitPacket is WaitPacket for step processors. Outcomes: done means a
+// packet is available and the clock has advanced to its arrival (waiting
+// charged to cat); done=false, blocked=true means the waiter is parked
+// (StepBlock ran — return StepYield and re-invoke on the delivery wake);
+// done=false, blocked=false means the entry Interact would yield — return
+// StepYield and re-invoke when the quantum catches up.
+func (ni *NI) StepWaitPacket(cat stats.Category) (done, blocked bool) {
+	p := ni.P
+	if p.WakePending() {
+		p.WakePayload()
+	} else if !p.StepInteract() {
+		return false, false
+	}
+	if ni.qlen() > 0 {
+		if a := ni.qhead().Arrive; a > p.Clock() {
+			p.WaitUntil(a, cat)
+		}
+		return true, false
+	}
+	ni.waiter = true
+	p.StepBlock(cat, "awaiting packet")
+	return false, true
+}
+
 // Send injects a packet: write tag+destination (5 cycles) then store five
 // words (15 cycles). pkt.DataBytes of the 16-byte payload are counted as
 // application data, the rest (plus the 4-byte tag word) as control. Src and
 // Arrive are filled in by the interface.
-func (ni *NI) Send(pkt Packet) {
+func (ni *NI) Send(pkt *Packet) {
+	ni.P.Interact()
+	ni.sendBody(pkt)
+}
+
+// StepSend is Send for step processors: false means the quantum must catch
+// up first (nothing injected, nothing charged); re-invoke with the same
+// packet when redispatched.
+func (ni *NI) StepSend(pkt *Packet) bool {
+	if !ni.P.StepInteract() {
+		return false
+	}
+	ni.sendBody(pkt)
+	return true
+}
+
+// sendBody is everything Send does after its Interact: validation, the
+// injection charges, and staging the delivery. pkt is the caller's private
+// copy, passed by pointer so the 128-byte struct moves once per hop, not
+// once per call frame.
+func (ni *NI) sendBody(pkt *Packet) {
 	if pkt.DataBytes < 0 || pkt.DataBytes > ni.Cfg.PacketPayload {
 		panic(fmt.Sprintf("ni: dataBytes %d out of range", pkt.DataBytes))
 	}
@@ -184,7 +267,6 @@ func (ni *NI) Send(pkt Packet) {
 		panic(fmt.Sprintf("ni: send to invalid node %d", dst))
 	}
 	p := ni.P
-	p.Interact()
 	p.ChargeStall(stats.NetAccess, ni.Cfg.NIWriteTagDest+ni.Cfg.NISendCycles)
 	p.Acct.Add(stats.CntMessages, 1)
 	p.Acct.Add(stats.CntBytesData, int64(pkt.DataBytes))
@@ -205,14 +287,14 @@ func (ni *NI) Send(pkt Packet) {
 		if d.Corrupt {
 			atomic.AddInt64(&ni.net.Corrupted, 1)
 			pkt.Corrupt = true
-			corrupt(&pkt, d.CorruptBit)
+			corrupt(pkt, d.CorruptBit)
 		}
 		pkt.Arrive += d.Delay
 		if d.Dup {
 			atomic.AddInt64(&ni.net.Duplicated, 1)
-			dup := pkt
+			dup := *pkt
 			dup.Arrive = p.Clock() + ni.Cfg.NetLatency + d.DupDelay
-			ni.deliver(dstNI, dup)
+			ni.deliver(dstNI, &dup)
 		}
 	}
 	ni.deliver(dstNI, pkt)
@@ -238,22 +320,24 @@ func (d *delivery) RunEvent(at sim.Time) {
 		dst.waiter = false
 		dst.P.Wake(at, nil)
 	}
+	// d.pkt is left in place: it is fully overwritten on pool reuse, and
+	// Packet is pointer-free, so clearing it would only duffzero 128 bytes
+	// per delivery.
 	d.dst = nil
-	d.pkt = Packet{}
 	d.origin.freeDel = append(d.origin.freeDel, d)
 }
 
 // deliver stages pkt's arrival at dst on behalf of the sending processor;
 // the delivery itself runs in a later event phase, the only context allowed
 // to touch the destination's queue and wake its processor.
-func (ni *NI) deliver(dst *NI, pkt Packet) {
+func (ni *NI) deliver(dst *NI, pkt *Packet) {
 	var d *delivery
 	if n := len(ni.freeDel); n > 0 {
 		d = ni.freeDel[n-1]
 		ni.freeDel = ni.freeDel[:n-1]
-		d.dst, d.pkt = dst, pkt
+		d.dst, d.pkt = dst, *pkt
 	} else {
-		d = &delivery{origin: ni, dst: dst, pkt: pkt}
+		d = &delivery{origin: ni, dst: dst, pkt: *pkt}
 	}
 	ni.P.ScheduleAction(pkt.Arrive, d)
 }

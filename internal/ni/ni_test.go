@@ -20,7 +20,7 @@ func TestSendDeliversAfterLatency(t *testing.T) {
 	procs := make([]*sim.Proc, 2)
 	nis := make([]*NI, 2)
 	procs[0] = eng.AddProc(func(p *sim.Proc) {
-		nis[0].Send(Packet{Dst: 1, Tag: 7, DataBytes: 8})
+		nis[0].Send(&Packet{Dst: 1, Tag: 7, DataBytes: 8})
 		sendDone = p.Clock()
 	})
 	procs[1] = eng.AddProc(func(p *sim.Proc) {
@@ -57,8 +57,8 @@ func TestByteAccountingSplitsHeaderAsControl(t *testing.T) {
 	procs := make([]*sim.Proc, 2)
 	nis := make([]*NI, 2)
 	procs[0] = eng.AddProc(func(p *sim.Proc) {
-		nis[0].Send(Packet{Dst: 1, DataBytes: 16}) // full payload is data
-		nis[0].Send(Packet{Dst: 1, DataBytes: 0})  // pure control
+		nis[0].Send(&Packet{Dst: 1, DataBytes: 16}) // full payload is data
+		nis[0].Send(&Packet{Dst: 1, DataBytes: 0})  // pure control
 	})
 	procs[1] = eng.AddProc(func(p *sim.Proc) {
 		for i := 0; i < 2; i++ {
@@ -92,7 +92,7 @@ func TestFIFOOrderPreserved(t *testing.T) {
 	nis := make([]*NI, 2)
 	procs[0] = eng.AddProc(func(p *sim.Proc) {
 		for i := 0; i < n; i++ {
-			nis[0].Send(Packet{Dst: 1, Tag: i})
+			nis[0].Send(&Packet{Dst: 1, Tag: i})
 		}
 	})
 	procs[1] = eng.AddProc(func(p *sim.Proc) {
@@ -123,7 +123,7 @@ func TestOversizedPayloadPanics(t *testing.T) {
 				}
 			}()
 			nis := net.nis
-			nis[0].Send(Packet{Dst: 1, DataBytes: 17})
+			nis[0].Send(&Packet{Dst: 1, DataBytes: 17})
 		}),
 		eng.AddProc(func(p *sim.Proc) {}),
 	}
@@ -163,7 +163,7 @@ func TestFaultConservationInvariant(t *testing.T) {
 	nis := make([]*NI, 2)
 	procs[0] = eng.AddProc(func(p *sim.Proc) {
 		for i := 0; i < n; i++ {
-			nis[0].Send(Packet{Dst: 1, Tag: i % 7})
+			nis[0].Send(&Packet{Dst: 1, Tag: i % 7})
 		}
 	})
 	procs[1] = eng.AddProc(func(p *sim.Proc) {
@@ -217,7 +217,7 @@ func TestInputQueueCompactionUnderJitteredBacklog(t *testing.T) {
 	nis := make([]*NI, 2)
 	procs[0] = eng.AddProc(func(p *sim.Proc) {
 		for i := 0; i < n; i++ {
-			nis[0].Send(Packet{Dst: 1, Tag: i})
+			nis[0].Send(&Packet{Dst: 1, Tag: i})
 		}
 	})
 	procs[1] = eng.AddProc(func(p *sim.Proc) {

@@ -61,6 +61,28 @@ type Spec struct {
 	// software tree (cost.Config.HWCombining). Part of Spec — it changes the
 	// simulated hardware, so it must survive the snapshot round-trip.
 	HWCombining bool `json:"hw_combining,omitempty"`
+
+	// StepProcs selects the step (continuation) form of the application:
+	// each node runs as an engine-dispatched state machine instead of a
+	// goroutine. Fingerprint-identical to the coroutine form by contract
+	// (the cross-form equality tests pin it), so checkpoints written by one
+	// form resume under the other; part of Spec because only some apps have
+	// step implementations and Validate must reject the rest up front.
+	StepProcs bool `json:"step_procs,omitempty"`
+}
+
+// StepUnsupportedError reports a spec requesting step processors for a
+// configuration without a step implementation (an app that only exists in
+// coroutine form, or a robustness layer that must suspend mid-call).
+type StepUnsupportedError struct {
+	App     string
+	Machine string
+	Reason  string
+}
+
+func (e *StepUnsupportedError) Error() string {
+	return fmt.Sprintf("runner: step_procs unsupported for %s/%s: %s",
+		e.App, e.Machine, e.Reason)
 }
 
 // Validate rejects specs that name no runnable configuration.
@@ -96,6 +118,26 @@ func (s *Spec) Validate() error {
 	}
 	if (s.SMCheck || s.SMFaults != nil || s.SMWatchdog > 0) && s.Machine != "sm" {
 		return fmt.Errorf("runner: coherence robustness controls require machine sm")
+	}
+	if s.StepProcs {
+		switch s.App {
+		case "em3d", "lcp":
+		default:
+			return &StepUnsupportedError{App: s.App, Machine: s.Machine,
+				Reason: "app has no step implementation"}
+		}
+		if s.Faults != nil {
+			return &StepUnsupportedError{App: s.App, Machine: s.Machine,
+				Reason: "reliable transport suspends inside library calls"}
+		}
+		if s.SMFaults != nil {
+			return &StepUnsupportedError{App: s.App, Machine: s.Machine,
+				Reason: "control-fault injection is untested under step dispatch"}
+		}
+		if s.HWCombining {
+			return &StepUnsupportedError{App: s.App, Machine: s.Machine,
+				Reason: "the hardware combiner suspends its depositors"}
+		}
 	}
 	return nil
 }
@@ -465,9 +507,14 @@ func runApp(spec *Spec, cfg cost.Config) (*machine.Result, string) {
 			par.Iters = spec.Iters
 		}
 		var out *em3d.Output
-		if spec.Machine == "mp" {
+		switch {
+		case spec.Machine == "mp" && spec.StepProcs:
+			out = em3d.RunMPStep(cfg, shape, par)
+		case spec.Machine == "mp":
 			out = em3d.RunMP(cfg, shape, par)
-		} else {
+		case spec.StepProcs:
+			out = em3d.RunSMStep(cfg, spec.policy(), par)
+		default:
 			out = em3d.RunSM(cfg, spec.policy(), par)
 		}
 		return out.Res, fmt.Sprintf("maxErr=%.3g", out.MaxErr)
@@ -481,8 +528,12 @@ func runApp(spec *Spec, cfg cost.Config) (*machine.Result, string) {
 		}
 		var out *lcp.Output
 		switch {
+		case spec.App == "lcp" && spec.Machine == "mp" && spec.StepProcs:
+			out = lcp.RunMPStep(cfg, shape, par)
 		case spec.App == "lcp" && spec.Machine == "mp":
 			out = lcp.RunMP(cfg, shape, par)
+		case spec.App == "lcp" && spec.StepProcs:
+			out = lcp.RunSMStep(cfg, par)
 		case spec.App == "lcp":
 			out = lcp.RunSM(cfg, par)
 		case spec.Machine == "mp":

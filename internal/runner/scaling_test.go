@@ -125,6 +125,95 @@ func TestScalingSmokeGoroutineHighWater(t *testing.T) {
 	}
 }
 
+// TestScalingSmokeStep1024 is the step-form scaling canary, strong enough
+// to run under -race at P=1024: a full step-form app (every node an
+// engine-dispatched state machine) must complete with serial/pooled
+// fingerprint equality, and its goroutine high-water mark must be
+// O(workers) — independent of P — where the coroutine form's is O(P).
+func TestScalingSmokeStep1024(t *testing.T) {
+	const procs, workers = 1024, 4
+	before := runtime.NumGoroutine()
+	high := 0
+	spec := Spec{App: "em3d", Machine: "mp", Procs: procs, Size: 8, Iters: 2, StepProcs: true}
+
+	cfg := spec.Config()
+	cfg.Workers = workers
+	cfg.OnBuild = func(m any) {
+		mm, ok := m.(*machine.MPMachine)
+		if !ok {
+			t.Fatalf("OnBuild got %T", m)
+		}
+		mm.Eng.AddQuantumHook(func(sim.Time) {
+			if n := runtime.NumGoroutine(); n > high {
+				high = n
+			}
+		})
+	}
+	par := em3d.DefaultParams()
+	par.NodesPer, par.Iters = 8, 2
+	out := em3d.RunMPStep(cfg, cmmd.LopSided, par)
+	if out.Res.Err != nil {
+		t.Fatalf("step run aborted: %v", out.Res.Err)
+	}
+	// The tightened bound: workers plus fixed slack. No per-proc term — a
+	// step machine parks blocked processors as heap state, not stacks.
+	if bound := before + workers + 16; high > bound {
+		t.Errorf("step-form goroutine high-water %d exceeds %d (base %d + %d workers + slack): step dispatch must not cost goroutines per proc",
+			high, bound, before, workers)
+	}
+
+	base, err := Run(spec, Options{Workers: 1})
+	if err != nil || base.Res.Err != nil {
+		t.Fatalf("workers=1 step run: %v / %v", err, base.Res.Err)
+	}
+	pooled, err := Run(spec, Options{Workers: workers})
+	if err != nil || pooled.Res.Err != nil {
+		t.Fatalf("workers=4 step run: %v / %v", err, pooled.Res.Err)
+	}
+	if pooled.Fingerprint != base.Fingerprint {
+		t.Fatalf("P=1024 step fingerprint workers=4 %#x != workers=1 %#x", pooled.Fingerprint, base.Fingerprint)
+	}
+	if !bytes.Equal(pooled.StatsBytes, base.StatsBytes) {
+		t.Fatalf("P=1024 step canonical stats differ between worker counts")
+	}
+}
+
+// TestProcs4096StepPairsComplete pushes the ported pairs one octave past
+// the P=1024 study: every step-ported pair must complete at the Spec limit
+// P=4096 with serial/pooled fingerprint equality. Step form only — 4096
+// coroutine stacks are exactly the host cost the step port removes. Heavy
+// gated: minutes per pair without the race detector.
+func TestProcs4096StepPairsComplete(t *testing.T) {
+	if raceEnabled {
+		t.Skip("P=4096 completion is verified without -race (see scaling-smoke CI job)")
+	}
+	if os.Getenv("WWT_SCALING_HEAVY") != "1" {
+		t.Skip("P=4096 workload; set WWT_SCALING_HEAVY=1")
+	}
+	pairs := []Spec{
+		{App: "em3d", Machine: "mp", Procs: 4096, Size: 8, Iters: 2, StepProcs: true},
+		{App: "em3d", Machine: "sm", Procs: 4096, Size: 8, Iters: 2, StepProcs: true},
+		{App: "lcp", Machine: "mp", Procs: 4096, Size: 4096, Iters: 2, StepProcs: true},
+		{App: "lcp", Machine: "sm", Procs: 4096, Size: 4096, Iters: 2, StepProcs: true},
+	}
+	for _, spec := range pairs {
+		spec := spec
+		t.Run(fmt.Sprintf("%s-%s", spec.App, spec.Machine), func(t *testing.T) {
+			base, err := Run(spec, Options{Workers: 1})
+			if err != nil || base.Res.Err != nil {
+				t.Fatalf("workers=1: %v / %v", err, base.Res.Err)
+			}
+			par, err := Run(spec, Options{Workers: 4})
+			if err != nil || par.Res.Err != nil {
+				t.Fatalf("workers=4: %v / %v", err, par.Res.Err)
+			}
+			if par.Fingerprint != base.Fingerprint {
+				t.Errorf("P=4096 fingerprint workers=4 %#x != workers=1 %#x", par.Fingerprint, base.Fingerprint)
+			}
+		})
+	}
+}
+
 // TestProcs1024AllPairsComplete runs app pairs at Procs=1024 end to end
 // with per-processor-scaled working sets and checks serial/pooled
 // fingerprint equality at full machine size. The linear-work pairs (em3d,

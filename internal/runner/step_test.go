@@ -1,0 +1,186 @@
+package runner
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/snapshot"
+)
+
+// stepPairs are the app/machine pairs with step (continuation) ports. Sizes
+// are kept small: the matrix below multiplies them by three processor
+// counts and two worker counts, under the race detector.
+var stepPairs = []struct {
+	Name string
+	Spec Spec
+}{
+	{"em3d-mp", Spec{App: "em3d", Machine: "mp", Size: 8, Iters: 2}},
+	{"em3d-sm", Spec{App: "em3d", Machine: "sm", Size: 8, Iters: 2}},
+	{"lcp-mp", Spec{App: "lcp", Machine: "mp", Size: 1024, Iters: 3}},
+	{"lcp-sm", Spec{App: "lcp", Machine: "sm", Size: 1024, Iters: 3}},
+}
+
+// TestStepFormEquivalence pins the cross-form determinism contract: for
+// every ported pair, the step form must produce bit-identical accounting
+// (fingerprint, stats bytes, and the app's answer line) to the coroutine
+// form, at several processor counts, serial and parallel.
+func TestStepFormEquivalence(t *testing.T) {
+	for _, pair := range stepPairs {
+		for _, procs := range []int{16, 64, 256} {
+			for _, workers := range []int{1, 4} {
+				pair, procs, workers := pair, procs, workers
+				t.Run(fmt.Sprintf("%s/p%d/w%d", pair.Name, procs, workers), func(t *testing.T) {
+					t.Parallel()
+					spec := pair.Spec
+					spec.Procs = procs
+
+					co, err := Run(spec, Options{Workers: workers})
+					if err != nil {
+						t.Fatalf("coroutine run: %v", err)
+					}
+					if co.Res.Err != nil {
+						t.Fatalf("coroutine run aborted: %v", co.Res.Err)
+					}
+
+					spec.StepProcs = true
+					st, err := Run(spec, Options{Workers: workers})
+					if err != nil {
+						t.Fatalf("step run: %v", err)
+					}
+					if st.Res.Err != nil {
+						t.Fatalf("step run aborted: %v", st.Res.Err)
+					}
+
+					if st.Fingerprint != co.Fingerprint {
+						t.Errorf("fingerprint: step %#x, coroutine %#x", st.Fingerprint, co.Fingerprint)
+					}
+					if !bytes.Equal(st.StatsBytes, co.StatsBytes) {
+						t.Errorf("stats bytes differ between forms")
+					}
+					if st.AppLine != co.AppLine {
+						t.Errorf("app answer: step %q, coroutine %q", st.AppLine, co.AppLine)
+					}
+					if st.Res.Elapsed != co.Res.Elapsed {
+						t.Errorf("elapsed: step %d, coroutine %d", st.Res.Elapsed, co.Res.Elapsed)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestStepCrossFormResume checks that checkpoints are form-portable: a
+// snapshot written by one form resumes (replay-verified) under the other,
+// in both directions, with the original fingerprint.
+func TestStepCrossFormResume(t *testing.T) {
+	for _, pair := range stepPairs {
+		for _, fromStep := range []bool{false, true} {
+			pair, fromStep := pair, fromStep
+			name := fmt.Sprintf("%s/coroutine-to-step", pair.Name)
+			if fromStep {
+				name = fmt.Sprintf("%s/step-to-coroutine", pair.Name)
+			}
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				spec := pair.Spec
+				spec.Procs = 16
+				spec.StepProcs = fromStep
+
+				base, err := Run(spec, Options{})
+				if err != nil || base.Res.Err != nil {
+					t.Fatalf("base run: %v / %v", err, base.Res.Err)
+				}
+				every := base.Res.Elapsed / 7
+				if every < 1 {
+					t.Fatalf("run too short to checkpoint (elapsed %d)", base.Res.Elapsed)
+				}
+				dir := t.TempDir()
+				ck, err := Run(spec, Options{CheckpointEvery: every, CheckpointDir: dir})
+				if err != nil || ck.Res.Err != nil {
+					t.Fatalf("checkpointed run: %v / %v", err, ck.Res.Err)
+				}
+				if len(ck.Checkpoints) == 0 {
+					t.Fatalf("no checkpoints written")
+				}
+
+				// The first checkpoint lands in the program's setup phase and
+				// the last near completion: form-portability must hold at
+				// every boundary, and setup is where a step port that
+				// front-loads host-side writes to registered state diverges.
+				cps := []Checkpoint{ck.Checkpoints[0], ck.Checkpoints[len(ck.Checkpoints)-1]}
+				for _, cp := range cps {
+					snap, err := snapshot.ReadFile(cp.Path)
+					if err != nil {
+						t.Fatalf("read %s: %v", cp.Path, err)
+					}
+					sp, err := SpecFromSnapshot(snap)
+					if err != nil {
+						t.Fatalf("spec from snapshot: %v", err)
+					}
+					if sp.StepProcs != fromStep {
+						t.Fatalf("snapshot spec step_procs = %v, want %v", sp.StepProcs, fromStep)
+					}
+					sp.StepProcs = !fromStep // resume under the other form
+
+					re, err := Run(*sp, Options{Resume: snap})
+					if err != nil {
+						t.Fatalf("cross-form resume from cycle %d: %v", cp.Cycle, err)
+					}
+					if !re.Verified {
+						t.Fatalf("cross-form resume from cycle %d never verified", cp.Cycle)
+					}
+					if re.Fingerprint != base.Fingerprint {
+						t.Fatalf("cross-form resume from cycle %d fingerprint %#x, want %#x",
+							cp.Cycle, re.Fingerprint, base.Fingerprint)
+					}
+					if re.AppLine != base.AppLine {
+						t.Fatalf("cross-form resume from cycle %d answer %q, want %q",
+							cp.Cycle, re.AppLine, base.AppLine)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestValidateStepUnsupported pins the typed rejection of step requests for
+// configurations without a step implementation.
+func TestValidateStepUnsupported(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"em3d-mp", Spec{App: "em3d", Machine: "mp", Procs: 4, StepProcs: true}, true},
+		{"lcp-sm", Spec{App: "lcp", Machine: "sm", Procs: 4, StepProcs: true}, true},
+		{"gauss", Spec{App: "gauss", Machine: "mp", Procs: 4, StepProcs: true}, false},
+		{"mse", Spec{App: "mse", Machine: "sm", Procs: 4, StepProcs: true}, false},
+		{"alcp", Spec{App: "alcp", Machine: "mp", Procs: 4, StepProcs: true}, false},
+		{"em3d-faults", Spec{App: "em3d", Machine: "mp", Procs: 4, StepProcs: true,
+			Faults: &cost.FaultsConfig{Seed: 1}}, false},
+		{"lcp-smfaults", Spec{App: "lcp", Machine: "sm", Procs: 4, StepProcs: true,
+			SMFaults: &cost.SMFaultsConfig{Seed: 1}}, false},
+		{"em3d-hwcomb", Spec{App: "em3d", Machine: "sm", Procs: 4, StepProcs: true,
+			HWCombining: true}, false},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate()
+		if tc.ok {
+			if err != nil {
+				t.Errorf("%s: unexpected validate error: %v", tc.name, err)
+			}
+			continue
+		}
+		var se *StepUnsupportedError
+		if !errors.As(err, &se) {
+			t.Errorf("%s: want *StepUnsupportedError, got %v", tc.name, err)
+			continue
+		}
+		if se.App != tc.spec.App || se.Reason == "" {
+			t.Errorf("%s: malformed error %+v", tc.name, se)
+		}
+	}
+}

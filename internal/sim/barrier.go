@@ -101,6 +101,38 @@ func (b *Barrier) Wait(p *Proc, cat stats.Category) {
 	p.Block(cat, "barrier")
 }
 
+// StepWait is Wait for step processors: it returns false after recording
+// the arrival and blocking (the step must return StepYield), and true on
+// the reentry that consumes the release wake. The arrival bookkeeping is
+// identical to Wait's, so mixed coroutine/step participant sets release
+// together and the release event wakes everyone in processor-ID order.
+func (b *Barrier) StepWait(p *Proc, cat stats.Category) bool {
+	if p.WakePending() {
+		p.WakePayload()
+		return true
+	}
+	if !p.StepInteract() {
+		return false
+	}
+	b.mu.Lock()
+	for _, q := range b.waiting {
+		if q == p {
+			b.mu.Unlock()
+			panic(fmt.Sprintf("sim: proc %d re-entered barrier", p.ID))
+		}
+	}
+	if p.clock > b.maxArr {
+		b.maxArr = p.clock
+	}
+	b.waiting = append(b.waiting, p)
+	if len(b.waiting)+b.polling == b.n {
+		b.stageRelease()
+	}
+	b.mu.Unlock()
+	p.StepBlock(cat, "barrier")
+	return false
+}
+
 // WaitService enters the barrier like Wait, but keeps the processor runnable
 // while waiting, invoking service once per quantum. Reliable-transport runs
 // use it so acknowledgements and retransmissions progress while a node sits

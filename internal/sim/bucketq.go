@@ -1,0 +1,155 @@
+package sim
+
+import "container/heap"
+
+// maxTime is an upper bound on event times, used to drain unconditionally.
+const maxTime = Time(1)<<62 - 1
+
+// bucketQueue is the engine's pending-event structure: a calendar queue
+// tuned for the conservative-quantum access pattern, where almost every
+// event lands within a few quanta of now and the event phase drains the
+// whole window in (At, seq) order anyway. A ring of per-cycle FIFO buckets
+// covers [base, base+window); the old binary heap survives only as the far
+// queue for the rare event outside the window. Ring pushes and pops are
+// O(1) — the heap's O(log n) sift, ~19% of host time at P=1024, is off the
+// hot path.
+//
+// Ordering contract (must match the plain (At, seq) min-heap bit for bit):
+//
+//   - Sequence numbers increase monotonically across all pushes, so a
+//     bucket's FIFO order IS seq order for that cycle.
+//   - base only advances (advance is called after the event phase has
+//     drained everything below the new base), so a far event for cycle t
+//     was pushed before the window ever covered t — before every ring
+//     event at t. On an At tie between the far queue and the ring, the far
+//     event therefore always has the smaller seq, and popping far-first on
+//     ties preserves the global order without comparing seq at all.
+type bucketQueue struct {
+	ring []evBucket
+	mask int  // len(ring)-1; len is a power of two
+	n    int  // events currently in the ring
+	base Time // ring covers cycles [base, base+len(ring))
+	next Time // lower bound on the earliest ring event's time
+	far  eventHeap
+}
+
+// evBucket is one cycle's FIFO, linked intrusively through Event.qnext.
+// Events are pooled by the engine, so the list borrows storage the events
+// already own — a bucket can never allocate, no matter how many events pile
+// onto one cycle (quantum-boundary merges put O(P) events on the same At).
+type evBucket struct {
+	head, tail *Event
+}
+
+// initBuckets sizes the ring to cover several quanta: wide enough that
+// cross-processor latencies (network hops, directory transactions) land in
+// the ring, small enough to stay cache-resident.
+func (q *bucketQueue) initBuckets(quantum Time) {
+	w := 256
+	for Time(w) < 4*quantum {
+		w <<= 1
+	}
+	q.ring = make([]evBucket, w)
+	q.mask = w - 1
+	// The far heap sees only out-of-window events, but heap.Push still
+	// appends; seed enough capacity that its high-water mark is a warmup
+	// phenomenon, not a mid-run allocation.
+	q.far = make(eventHeap, 0, 64)
+}
+
+func (q *bucketQueue) len() int { return q.n + len(q.far) }
+
+// push enqueues ev, routing by time: in-window to its cycle bucket,
+// anything else (past or beyond the horizon) to the far heap.
+func (q *bucketQueue) push(ev *Event) {
+	if ev.At >= q.base && ev.At < q.base+Time(len(q.ring)) {
+		b := &q.ring[int(ev.At)&q.mask]
+		ev.qnext = nil
+		if b.tail == nil {
+			b.head = ev
+		} else {
+			b.tail.qnext = ev
+		}
+		b.tail = ev
+		q.n++
+		if ev.At < q.next {
+			q.next = ev.At
+		}
+		return
+	}
+	heap.Push(&q.far, ev)
+}
+
+// ringMin returns the earliest ring event's cycle, or -1 if the ring is
+// empty. The scan from the cached lower bound is amortized O(1): it only
+// crosses a cycle once per window pass, and pushes can only lower the bound.
+func (q *bucketQueue) ringMin() Time {
+	if q.n == 0 {
+		return -1
+	}
+	t := q.next
+	for q.ring[int(t)&q.mask].head == nil {
+		t++
+	}
+	q.next = t
+	return t
+}
+
+// minAt returns the earliest pending event time across both queues, or -1
+// if no events are pending.
+func (q *bucketQueue) minAt() Time {
+	at := q.ringMin()
+	if len(q.far) > 0 && (at < 0 || q.far[0].At < at) {
+		at = q.far[0].At
+	}
+	return at
+}
+
+// popBelow removes and returns the earliest event with At < limit, or nil.
+// On an At tie the far queue wins — see the ordering contract above.
+func (q *bucketQueue) popBelow(limit Time) *Event {
+	ringAt := q.ringMin()
+	if len(q.far) > 0 && (ringAt < 0 || q.far[0].At <= ringAt) {
+		if q.far[0].At < limit {
+			return heap.Pop(&q.far).(*Event)
+		}
+		return nil
+	}
+	if ringAt < 0 || ringAt >= limit {
+		return nil
+	}
+	b := &q.ring[int(ringAt)&q.mask]
+	ev := b.head
+	b.head = ev.qnext
+	if b.head == nil {
+		b.tail = nil
+	}
+	ev.qnext = nil
+	q.n--
+	return ev
+}
+
+// each calls fn for every pending event, in no particular order. Callers
+// that need an order (the state encoder) sort by (At, seq) themselves.
+func (q *bucketQueue) each(fn func(*Event)) {
+	for i := range q.ring {
+		for ev := q.ring[i].head; ev != nil; ev = ev.qnext {
+			fn(ev)
+		}
+	}
+	for _, ev := range q.far {
+		fn(ev)
+	}
+}
+
+// advance moves the window start to 'to', exposing [oldBase+len, to+len) to
+// ring pushes. Callers must have drained every event below 'to' first; the
+// event phase does, right before advancing to the new quantum end.
+func (q *bucketQueue) advance(to Time) {
+	if to > q.base {
+		q.base = to
+		if q.next < to {
+			q.next = to
+		}
+	}
+}

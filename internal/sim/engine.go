@@ -43,6 +43,7 @@ type Event struct {
 
 	seq   uint64
 	index int
+	qnext *Event // intrusive FIFO link while queued in a ring bucket
 }
 
 // Action is a closure-free event body: a reusable, typically pooled object
@@ -89,7 +90,7 @@ type Engine struct {
 
 	now    Time // start of the current quantum
 	qEnd   Time // end of the current quantum
-	events eventHeap
+	events bucketQueue
 	seq    uint64
 	procs  []*Proc
 
@@ -178,7 +179,9 @@ func NewEngine(quantum Time) *Engine {
 	if quantum <= 0 {
 		panic("sim: quantum must be positive")
 	}
-	return &Engine{Quantum: quantum, engGate: make(chan struct{}, 1)}
+	e := &Engine{Quantum: quantum, engGate: make(chan struct{}, 1)}
+	e.events.initBuckets(quantum)
+	return e
 }
 
 // Now returns the start of the current quantum. Individual processors may
@@ -230,7 +233,7 @@ func (e *Engine) Schedule(at Time, fn func()) {
 		panic("sim: Engine.Schedule from processor context; use Proc.Schedule")
 	}
 	e.seq++
-	heap.Push(&e.events, e.alloc(at, fn, nil, e.seq))
+	e.events.push(e.alloc(at, fn, nil, e.seq))
 }
 
 // ScheduleAction is Schedule for a closure-free Action body. Same engine-
@@ -240,7 +243,7 @@ func (e *Engine) ScheduleAction(at Time, act Action) {
 		panic("sim: Engine.ScheduleAction from processor context; use Proc.ScheduleAction")
 	}
 	e.seq++
-	heap.Push(&e.events, e.alloc(at, nil, act, e.seq))
+	e.events.push(e.alloc(at, nil, act, e.seq))
 }
 
 // Stager is an auxiliary event-staging context for objects shared by many
@@ -373,12 +376,17 @@ func (e *Engine) Run() error {
 		}
 		e.qEnd = e.now + e.Quantum
 
-		// Event phase: handle everything due before the quantum ends.
-		for len(e.events) > 0 && e.events[0].At < e.qEnd {
-			ev := heap.Pop(&e.events).(*Event)
+		// Event phase: handle everything due before the quantum ends, then
+		// slide the calendar window up to the drained boundary.
+		for {
+			ev := e.events.popBelow(e.qEnd)
+			if ev == nil {
+				break
+			}
 			ev.run()
 			e.release(ev)
 		}
+		e.events.advance(e.qEnd)
 
 		// Processor phase: run each processor that has work this quantum.
 		// ready is consumed wholesale — procs past the horizon spill into
@@ -431,8 +439,8 @@ func (e *Engine) Run() error {
 	}
 	// Drain any trailing events (e.g. in-flight acknowledgements) so event
 	// conservation properties hold for tests.
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
+	for e.events.len() > 0 {
+		ev := e.events.popBelow(maxTime)
 		e.now = ev.At
 		ev.run()
 		e.release(ev)
@@ -548,7 +556,7 @@ func (e *Engine) settleBatch(batch []*Proc) {
 		for i := range p.staged {
 			se := &p.staged[i]
 			e.seq++
-			heap.Push(&e.events, e.alloc(se.at, se.fn, se.act, e.seq))
+			e.events.push(e.alloc(se.at, se.fn, se.act, e.seq))
 			se.fn = nil
 			se.act = nil
 		}
@@ -558,7 +566,7 @@ func (e *Engine) settleBatch(batch []*Proc) {
 		for i := range s.staged {
 			se := &s.staged[i]
 			e.seq++
-			heap.Push(&e.events, e.alloc(se.at, se.fn, se.act, e.seq))
+			e.events.push(e.alloc(se.at, se.fn, se.act, e.seq))
 			se.fn = nil
 			se.act = nil
 		}
@@ -669,10 +677,7 @@ func (e *Engine) unwind() {
 // (an empty batch means collection just spilled everything into ahead),
 // but a wake landing after collection keeps the scan for completeness.
 func (e *Engine) nextInteresting() Time {
-	next := Time(-1)
-	if len(e.events) > 0 {
-		next = e.events[0].At
-	}
+	next := e.events.minAt()
 	if len(e.ahead) > 0 {
 		if c := e.ahead[0].clock; next < 0 || c < next {
 			next = c

@@ -287,6 +287,22 @@ func (p *Proc) Interact() {
 	}
 }
 
+// StepInteract is Interact for step processors: it reports whether the
+// local clock is still inside the current quantum. A step-form library
+// operation calls it wherever its coroutine twin calls Interact; on false
+// the operation returns "not done" without mutating anything, the step
+// returns StepYield, and the engine redispatches the processor in the
+// quantum containing its clock — exactly where the coroutine would have
+// resumed. Keeping the check-points identical across forms is what makes
+// the two forms charge every stall in the same quantum and hence produce
+// bit-identical statistics at every quantum boundary.
+func (p *Proc) StepInteract() bool { return p.clock < p.eng.qEnd }
+
+// WakePending reports whether a wake payload is waiting to be consumed
+// (via WakePayload/WakePayloadVals). Step-form operations use it to
+// distinguish a fresh call from a reentry after StepBlock.
+func (p *Proc) WakePending() bool { return p.wakeKind != wakeNone }
+
 // WaitUntil advances the clock to t (if in the future), charging the wait to
 // cat. It does not yield; use for known-length local waits.
 func (p *Proc) WaitUntil(t Time, cat stats.Category) {

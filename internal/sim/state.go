@@ -51,10 +51,10 @@ func (e *Engine) EncodeState(enc *snapshot.Enc) {
 
 		// Pending events, sorted by (At, seq) — the heap's internal layout
 		// is insertion-history-dependent, its ordered content is not.
-		evs := make([]Event, len(e.events))
-		for i, ev := range e.events {
-			evs[i] = Event{At: ev.At, seq: ev.seq}
-		}
+		evs := make([]Event, 0, e.events.len())
+		e.events.each(func(ev *Event) {
+			evs = append(evs, Event{At: ev.At, seq: ev.seq})
+		})
 		sort.Slice(evs, func(i, j int) bool {
 			if evs[i].At != evs[j].At {
 				return evs[i].At < evs[j].At

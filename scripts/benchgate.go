@@ -29,9 +29,13 @@ import (
 
 // benchLine matches one result line of `go test -bench -benchmem` output,
 // e.g. "BenchmarkTable04_MSE_MP-4  1  20472597240 ns/op ... 6303 allocs/op".
-// The trailing -N is the GOMAXPROCS suffix and is stripped so budgets are
-// host-independent.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+.*?\s(\d+)\s+allocs/op`)
+// The trailing -N GOMAXPROCS suffix is stripped separately so budgets are
+// host-independent; on a GOMAXPROCS=1 host go test appends no suffix, so
+// parseBench records the raw name too rather than guessing whether a
+// trailing -N is the suffix or part of a sub-benchmark name like step-1024.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+.*?\s(\d+)\s+allocs/op`)
+
+var maxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
 	benchPath := flag.String("bench", "", "path to `go test -bench -benchmem` output")
@@ -108,6 +112,11 @@ func parseBench(path string) (map[string]int64, error) {
 			return nil, fmt.Errorf("line %q: %v", sc.Text(), err)
 		}
 		out[m[1]] = n
+		if s := maxprocsSuffix.ReplaceAllString(m[1], ""); s != m[1] {
+			if _, taken := out[s]; !taken {
+				out[s] = n
+			}
+		}
 	}
 	return out, sc.Err()
 }
